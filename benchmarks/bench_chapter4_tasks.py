@@ -1,0 +1,147 @@
+"""Chapter 4 task benches: Tables 4.6, 4.7, Fig. 4.11, ranking."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import discovery_of, emit, fmt_table, one_round
+from repro.simulate import simulate_task_graph
+from repro.workloads import get_workload
+from repro.workloads.bots import BOTS_NAMES
+
+
+def test_table_4_6_bots_spmd_tasks(one_round):
+    """SPMD-style tasks in BOTS (paper: 20/20 correct decisions)."""
+    rows = []
+    correct = total = 0
+    for name in BOTS_NAMES:
+        w = get_workload(name)
+        res = discovery_of(name)
+        for hot, expected in w.task_truth.items():
+            analysis = res.functions.get(hot)
+            if analysis is None:
+                continue
+            groups = [g for g in analysis.spmd_groups if g.callee == hot] \
+                or analysis.spmd_groups
+            if groups:
+                verdict = groups[0].independent
+                calls = groups[0].call_lines
+            else:
+                # single call site in a loop: taskable iff the loop's
+                # iterations are independent
+                loops = [l for l in res.loops if l.func == hot]
+                verdict = any(l.is_parallelizable for l in loops)
+                calls = []
+            ok = verdict == expected
+            correct += ok
+            total += 1
+            rows.append([
+                name, hot, calls, expected, verdict, "OK" if ok else "MISS",
+            ])
+    rows.append(["overall", "", "", "", "", f"{correct}/{total}"])
+    emit(
+        "table_4_6",
+        fmt_table(
+            ["program", "hot function", "call sites", "expected-independent",
+             "detected", "verdict"],
+            rows,
+        ),
+    )
+    one_round(lambda: discovery_of("fib"))
+    assert correct / total >= 0.75
+
+
+def test_table_4_7_mpmd_tasks(one_round):
+    """MPMD tasks in PARSEC-style and multimedia applications."""
+    rows = []
+    for name in ("blackscholes", "dedup", "ferret", "libvorbis-like",
+                 "facedetection"):
+        res = discovery_of(name)
+        graphs = [a.task_graph for a in res.functions.values()
+                  if a.task_graph is not None]
+        graphs += [a.task_graph for a in res.loop_tasks.values()
+                   if a.task_graph is not None]
+        best = max(graphs, key=lambda g: (g.width, g.inherent_speedup))
+        rows.append([
+            name,
+            len(best.nodes),
+            best.width,
+            f"{best.inherent_speedup:.2f}",
+            f"{simulate_task_graph(best, 4):.2f}x",
+        ])
+    emit(
+        "table_4_7",
+        fmt_table(
+            ["program", "tasks", "width", "inherent speedup",
+             "scheduled speedup (4T)"],
+            rows,
+        ),
+    )
+    one_round(lambda: discovery_of("dedup"))
+    by_name = {r[0]: r for r in rows}
+    assert by_name["facedetection"][2] >= 2  # per-frame scale tasks
+    assert by_name["libvorbis-like"][2] >= 2  # two channels
+
+
+def test_fig_4_11_facedetection_speedups(one_round):
+    """FaceDetection speedups over thread counts (paper: 9.92x @ 32 with
+    the task graph *and* DOALL detection loops combined)."""
+    res = one_round(lambda: discovery_of("facedetection"))
+    best = max(
+        (a.task_graph for a in res.loop_tasks.values() if a.task_graph),
+        key=lambda g: g.width,
+    )
+    # per-frame task graph + parallel detection loops inside each task:
+    # model the per-window detection parallelism by splitting task work
+    from repro.discovery.tasks import TaskGraph, TaskNode
+
+    def expanded(parallel_within: int) -> TaskGraph:
+        nodes = [
+            TaskNode(n.node_id, n.cu_ids, n.lines,
+                     max(1, n.work // parallel_within))
+            for n in best.nodes
+        ]
+        return TaskGraph(nodes, set(best.edges), best.container_region)
+
+    rows = []
+    series = []
+    total_original = best.total_work
+    for threads in (1, 2, 4, 8, 16, 32):
+        within = max(1, threads // max(1, best.width))
+        graph_w = expanded(within)
+        s_expanded = simulate_task_graph(graph_w, threads)
+        # speedup against the ORIGINAL serial work: the expanded graph's
+        # makespan = expanded_total / s_expanded
+        makespan = graph_w.total_work / s_expanded
+        speedup = min(float(threads), total_original / makespan)
+        series.append(speedup)
+        rows.append([threads, f"{speedup:.2f}x"])
+    emit("fig_4_11", fmt_table(["threads", "speedup"], rows))
+    # the paper's curve: rising, saturating well below linear at 32
+    # (9.92x in the paper)
+    assert series[-1] > series[2] > series[0]
+    assert series[2] > 1.5  # meaningful speedup at 4 threads
+    assert series[-1] < 32  # far from linear
+
+
+def test_ranking_hotspots(one_round):
+    """§4.4.5: ranking puts high-coverage parallel loops first."""
+    rows = []
+    for name in ("CG", "MG", "SP"):
+        res = discovery_of(name)
+        for rank, s in enumerate(res.suggestions[:3], 1):
+            rows.append([
+                name, rank, s.kind, s.location,
+                f"{s.scores.instruction_coverage:.1%}",
+                f"{s.scores.local_speedup:.2f}",
+                f"{s.scores.cu_imbalance:.2f}",
+                f"{s.scores.combined:.3f}",
+            ])
+    emit(
+        "ranking",
+        fmt_table(
+            ["program", "rank", "kind", "location", "coverage",
+             "local speedup", "imbalance", "score"],
+            rows,
+        ),
+    )
+    one_round(lambda: discovery_of("SP"))
+    assert rows

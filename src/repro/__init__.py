@@ -1,0 +1,57 @@
+"""repro — a reproduction of *Discovery of Potential Parallelism in
+Sequential Programs* (DiscoPoP: data-dependence profiler + computational
+units + CU-based parallelism discovery).
+
+Public API tour
+---------------
+
+Run the whole pipeline on MiniC source::
+
+    from repro import discover_source
+    result = discover_source(open("prog.mc").read())
+    print(result.format_report())
+
+Profile only (Chapter 2)::
+
+    from repro import profile_source
+    profiler, vm, exit_value = profile_source(source,
+                                              signature_slots=1 << 20)
+    for dep in profiler.store.all():
+        ...
+
+Lower-level layers are exposed as subpackages: :mod:`repro.minic` (the
+C-like language), :mod:`repro.mir` (the LLVM-like IR), :mod:`repro.runtime`
+(the instrumenting VM), :mod:`repro.profiler`, :mod:`repro.cu`,
+:mod:`repro.discovery`, :mod:`repro.simulate`, :mod:`repro.apps`, and
+:mod:`repro.workloads` (the benchmark suite with ground truth).
+"""
+
+from repro.mir.lowering import compile_source
+from repro.runtime.interpreter import VM, run_source
+from repro.profiler.serial import SerialProfiler, profile_source
+from repro.profiler.shadow import PerfectShadow, SignatureShadow
+from repro.profiler.parallel import ParallelProfiler
+from repro.profiler.skipping import SkippingProfiler
+from repro.profiler.reportfmt import format_report
+from repro.cu import build_cu_graph, build_cus
+from repro.discovery import discover, discover_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "VM",
+    "run_source",
+    "SerialProfiler",
+    "profile_source",
+    "PerfectShadow",
+    "SignatureShadow",
+    "ParallelProfiler",
+    "SkippingProfiler",
+    "format_report",
+    "build_cus",
+    "build_cu_graph",
+    "discover",
+    "discover_source",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Further applications of the framework (Chapter 5).
+
+* :mod:`repro.apps.features` / :mod:`repro.apps.ml` /
+  :mod:`repro.apps.doall_classifier` — characterizing features for DOALL
+  loops (§5.1, Tables 5.1–5.3): dynamic loop features + an AdaBoost
+  ensemble of decision stumps (implemented from scratch on NumPy — no
+  sklearn offline) with weighted-error-reduction feature importances.
+* :mod:`repro.apps.stm` — determining optimal parameters for software
+  transactional memory (§5.2, Table 5.4): transactions and their read/write
+  set sizes derived from the profiler's output.
+* :mod:`repro.apps.commpattern` — detecting communication patterns on
+  multicore systems (§5.3, Fig. 5.1): thread-to-thread communication
+  matrices from cross-thread dependences.
+"""
+
+from repro.apps.features import LOOP_FEATURES, loop_feature_vector
+from repro.apps.ml import AdaBoost, DecisionStump, classification_scores
+from repro.apps.doall_classifier import DoallClassifier, build_dataset
+from repro.apps.stm import TransactionAnalysis, analyze_transactions
+from repro.apps.commpattern import (
+    CommunicationMatrix,
+    communication_matrix,
+)
+
+__all__ = [
+    "LOOP_FEATURES",
+    "loop_feature_vector",
+    "AdaBoost",
+    "DecisionStump",
+    "classification_scores",
+    "DoallClassifier",
+    "build_dataset",
+    "TransactionAnalysis",
+    "analyze_transactions",
+    "CommunicationMatrix",
+    "communication_matrix",
+]

@@ -1,0 +1,40 @@
+"""Computational Units (Chapter 3).
+
+A CU is the smallest unit mapped onto a thread: a collection of instructions
+following the *read-compute-write* pattern over the variables *global to its
+enclosing region*.  A code section C with global variables GV is a CU iff
+for every v in GV all reads of v happen before all writes of v (§3.1).
+
+* :mod:`repro.cu.variables` — global/local variable analysis per control
+  region, including the special rules of §3.2.5 (parameters, the virtual
+  ``ret`` variable, loop iteration variables).
+* :mod:`repro.cu.topdown` — the top-down construction (Algorithm 3): check
+  whole regions, split at violating reads.
+* :mod:`repro.cu.bottomup` — the bottom-up construction (§3.2.3): per-
+  instruction CUs merged along anti-dependences.
+* :mod:`repro.cu.graph` — CU graphs: vertices are CUs, edges the data
+  dependences between their phases, with the Table 3.1 edge rules.
+* :mod:`repro.cu.controldeps` — re-convergence points (immediate post-
+  dominators) and the dynamic look-ahead variant of §3.2.2.
+"""
+
+from repro.cu.model import CU, CURegistry
+from repro.cu.variables import effective_global_vars
+from repro.cu.topdown import TopDownBuilder, build_cus
+from repro.cu.bottomup import BottomUpBuilder, build_cus_bottom_up
+from repro.cu.graph import CUGraph, build_cu_graph
+from repro.cu.controldeps import reconvergence_points, lookahead_reconvergence
+
+__all__ = [
+    "CU",
+    "CURegistry",
+    "effective_global_vars",
+    "TopDownBuilder",
+    "build_cus",
+    "BottomUpBuilder",
+    "build_cus_bottom_up",
+    "CUGraph",
+    "build_cu_graph",
+    "reconvergence_points",
+    "lookahead_reconvergence",
+]

@@ -1,0 +1,204 @@
+"""Bottom-up CU construction (§3.2.3).
+
+Processes the dynamic instruction stream of one region instance: every
+instrumented instruction initially forms its own CU; a CU is merged with the
+CUs of instructions it *anti-depends* on (write-after-read keeps the
+read-compute-write order intact), while true dependences become directed
+edges between CUs.  Instructions on variables local to the region are
+ignored; adjacent first-writes merge into an INIT node.
+
+As §3.2.3 discusses, this produces very fine-grained CUs (often single
+source lines) and is retained for the granularity comparison against the
+top-down approach (§3.3); the discovery pipeline uses top-down CUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.cu.variables import effective_global_vars
+from repro.mir.module import Module, Region
+from repro.runtime.events import EV_READ, EV_WRITE
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        if x not in parent:
+            parent[x] = x
+            return x
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+        return min(ra, rb)
+
+
+@dataclass
+class FineCU:
+    """A bottom-up CU: a set of dynamic instruction occurrences."""
+
+    cu_id: int
+    lines: set = field(default_factory=set)
+    vars_read: set = field(default_factory=set)
+    vars_written: set = field(default_factory=set)
+    is_init: bool = False
+    n_instructions: int = 0
+
+
+@dataclass
+class BottomUpResult:
+    cus: list[FineCU]
+    #: RAW edges between CU ids (sink_cu -> source_cu)
+    edges: set
+
+    @property
+    def n_cus(self) -> int:
+        return len(self.cus)
+
+    def mean_cu_size_lines(self) -> float:
+        if not self.cus:
+            return 0.0
+        return sum(len(c.lines) for c in self.cus) / len(self.cus)
+
+
+class BottomUpBuilder:
+    """Runs the bottom-up algorithm over one region instance's events."""
+
+    def __init__(self, module: Module, region: Region) -> None:
+        self.module = module
+        self.region = region
+        self.gv = effective_global_vars(module, region)
+
+    def build(self, events: Iterable[tuple]) -> BottomUpResult:
+        """``events`` must be the memory events of ONE instance of the
+        region (same thread), in execution order."""
+        uf = _UnionFind()
+        #: occurrence index -> (line, var_id, kind)
+        occ: list[tuple] = []
+        #: var -> list of occurrence ids that read it since its last write
+        readers: dict[int, list[int]] = {}
+        #: var -> occurrence id of its last write
+        writer: dict[int, int] = {}
+        raw_edges: set = set()
+        init_occs: list[int] = []
+        prev_was_init = False
+
+        for ev in events:
+            kind = ev[0]
+            if kind != EV_READ and kind != EV_WRITE:
+                prev_was_init = False
+                continue
+            line = ev[2]
+            var_id = ev[8]
+            if var_id not in self.gv:
+                # instruction on a region-local variable: ignored and
+                # dependences involving it excluded (§3.2.3 step 2)
+                continue
+            if not (self.region.start_line <= line <= self.region.end_line):
+                continue
+            idx = len(occ)
+            occ.append((line, var_id, kind))
+            uf.find(idx)  # register
+            if kind == EV_READ:
+                readers.setdefault(var_id, []).append(idx)
+                w = writer.get(var_id)
+                if w is not None:
+                    # true dependence: directed edge, no merge
+                    raw_edges.add((idx, w))
+                prev_was_init = False
+            else:
+                first_write = var_id not in writer
+                # merge with every CU that read the variable before us
+                # (anti-dependence keeps read before write in one CU)
+                for r in readers.pop(var_id, []):
+                    uf.union(idx, r)
+                writer[var_id] = idx
+                if first_write and var_id not in readers:
+                    if prev_was_init and init_occs:
+                        uf.union(idx, init_occs[-1])
+                    init_occs.append(idx)
+                    prev_was_init = True
+                else:
+                    prev_was_init = False
+
+        # materialise CUs
+        groups: dict[int, FineCU] = {}
+        roots: dict[int, int] = {}
+        for idx, (line, var_id, kind) in enumerate(occ):
+            root = uf.find(idx)
+            cu = groups.get(root)
+            if cu is None:
+                cu = FineCU(cu_id=len(groups))
+                groups[root] = cu
+            roots[idx] = cu.cu_id
+            cu.lines.add(line)
+            cu.n_instructions += 1
+            if kind == EV_READ:
+                cu.vars_read.add(var_id)
+            else:
+                cu.vars_written.add(var_id)
+        for root_idx in init_occs:
+            root = uf.find(root_idx)
+            if root in groups:
+                groups[root].is_init = True
+        edges = {
+            (roots[a], roots[b])
+            for a, b in raw_edges
+            if roots[a] != roots[b]
+        }
+        return BottomUpResult(list(groups.values()), edges)
+
+
+def first_instance_events(
+    events: Iterable[tuple], module: Module, region: Region
+) -> list[tuple]:
+    """Extract the memory events of the first complete instance of a region
+    (first iteration for loops) — the slice the bottom-up builder analyses."""
+    from repro.runtime.events import EV_BGN, EV_END, EV_FENTRY, EV_FEXIT, EV_ITER
+
+    out: list[tuple] = []
+    active = False
+    tid_of_instance: Optional[int] = None
+    for ev in events:
+        kind = ev[0]
+        if not active:
+            if kind == EV_BGN and ev[1] == region.region_id:
+                active = True
+                tid_of_instance = ev[4]
+            elif (
+                kind == EV_FENTRY
+                and region.kind == "func"
+                and ev[1] == region.func
+            ):
+                active = True
+                tid_of_instance = ev[3]
+            continue
+        if kind == EV_ITER and ev[1] == region.region_id:
+            break  # end of first iteration
+        if kind == EV_END and ev[1] == region.region_id:
+            break
+        if kind == EV_FEXIT and region.kind == "func" and ev[1] == region.func:
+            break
+        if kind in (EV_READ, EV_WRITE) and ev[5] == tid_of_instance:
+            out.append(ev)
+    return out
+
+
+def build_cus_bottom_up(
+    module: Module, region: Region, events: Iterable[tuple]
+) -> BottomUpResult:
+    """Convenience: bottom-up CUs of a region's first execution instance."""
+    instance = first_instance_events(events, module, region)
+    return BottomUpBuilder(module, region).build(instance)

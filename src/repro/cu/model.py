@@ -1,0 +1,95 @@
+"""CU data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CU:
+    """One computational unit.
+
+    ``read_set`` / ``write_set`` hold the region-global variables read /
+    written (§3.1); ``read_phase`` / ``write_phase`` the (line, var_id)
+    pairs of the load/store instructions forming the phases.  ``lines`` is
+    the set of source lines the CU covers — the currency for mapping
+    dependences onto CU-graph edges.
+    """
+
+    cu_id: int
+    region_id: int
+    func: str
+    kind: str  # 'region' (whole region is a CU) | 'segment' (split result)
+    start_line: int
+    end_line: int
+    lines: frozenset = frozenset()
+    read_set: frozenset = frozenset()
+    write_set: frozenset = frozenset()
+    read_phase: frozenset = frozenset()
+    write_phase: frozenset = frozenset()
+    #: dynamic cost: memory instructions executed inside this CU
+    instructions: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"CU{self.cu_id}[{self.start_line}-{self.end_line}]"
+
+    def covers(self, line: int) -> bool:
+        return line in self.lines
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{self.name} {self.kind} R{self.region_id} "
+            f"r={len(self.read_set)} w={len(self.write_set)}>"
+        )
+
+
+@dataclass
+class RegionCUInfo:
+    """Construction result for one control region."""
+
+    region_id: int
+    is_single_cu: bool
+    #: the whole-region CU when is_single_cu, else None
+    region_cu: Optional[CU] = None
+    #: split CUs when the region violated the read-compute-write pattern
+    segments: list[CU] = field(default_factory=list)
+    #: (line, var_id) reads that violated the pattern
+    violations: frozenset = frozenset()
+
+    def cus(self) -> list[CU]:
+        if self.is_single_cu and self.region_cu is not None:
+            return [self.region_cu]
+        return list(self.segments)
+
+
+class CURegistry:
+    """All CUs built for one module execution."""
+
+    def __init__(self) -> None:
+        self.by_region: dict[int, RegionCUInfo] = {}
+        self.all_cus: dict[int, CU] = {}
+        self._next_id = 0
+
+    def new_cu(self, **kwargs) -> CU:
+        cu = CU(cu_id=self._next_id, **kwargs)
+        self._next_id += 1
+        self.all_cus[cu.cu_id] = cu
+        return cu
+
+    def info(self, region_id: int) -> RegionCUInfo:
+        return self.by_region[region_id]
+
+    def cus_of_region(self, region_id: int) -> list[CU]:
+        info = self.by_region.get(region_id)
+        return info.cus() if info else []
+
+    def cu_covering(self, line: int, region_id: int) -> Optional[CU]:
+        for cu in self.cus_of_region(region_id):
+            if cu.covers(line):
+                return cu
+        return None
+
+    def __len__(self) -> int:
+        return len(self.all_cus)

@@ -1,0 +1,94 @@
+"""Call-site anchoring of memory events.
+
+To find parallelism *between* calls (SPMD tasks between recursive calls,
+MPMD tasks between pipeline-stage functions), dependences whose endpoints
+lie inside callees must surface at the call sites in the container under
+analysis — the paper gets this from the PET: "when examining parallelism
+between two functions, data dependences within each of them can be easily
+ignored".
+
+:func:`anchor_events` rewrites each memory event's line to its *anchor*
+within a container region: the line itself when the access executes directly
+in the container's function, otherwise the call-site line (within the
+container) of the call chain that led to the access.  Profiling the anchored
+stream with the ordinary serial profiler then yields a dependence store in
+container-line coordinates, ready for CU-graph task analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.mir.module import Module, Region
+from repro.runtime.events import (
+    EV_FENTRY,
+    EV_FEXIT,
+    EV_READ,
+    EV_SPAWN,
+    EV_WRITE,
+)
+
+
+def anchor_events(
+    events: Iterable[tuple], module: Module, container: Region
+) -> Iterator[tuple]:
+    """Yield memory/region events with lines rewritten to container anchors.
+
+    Events executing outside any dynamic instance of the container are
+    dropped.  Non-memory events inside the container pass through unchanged
+    (so loop-context classification still works for the container's own
+    loops).
+    """
+    # per-thread call stack: list of (func_name, call_line)
+    call_stacks: dict[int, list[tuple[str, int]]] = {}
+    container_func = container.func
+
+    def anchor_for(tid: int, line: int) -> int | None:
+        """Anchor of an access at `line` for thread `tid`, or None when the
+        access is not under the container.
+
+        Anchoring is relative to the *outermost* frame of the container's
+        function: the whole dynamic subtree under a call at line L collapses
+        onto L.  For recursive containers this folds the recursion tree onto
+        the top instance's call sites — dependences between two recursive
+        calls then appear as edges between their call lines, which is what
+        SPMD task detection needs (§4.2.1).
+        """
+        stack = call_stacks.get(tid, [])
+        for depth, (fname, _) in enumerate(stack):
+            if fname != container_func:
+                continue
+            if depth == len(stack) - 1:
+                # access executes directly in the container's function
+                if container.contains_line(line):
+                    return line
+                return None
+            call_line = stack[depth + 1][1]
+            if container.contains_line(call_line):
+                return call_line
+            return None
+        return None
+
+    for ev in events:
+        kind = ev[0]
+        if kind == EV_READ or kind == EV_WRITE:
+            anchor = anchor_for(ev[5], ev[2])
+            if anchor is None:
+                continue
+            if anchor == ev[2]:
+                yield ev
+            else:
+                yield (kind, ev[1], anchor, ev[3], ev[4], ev[5], ev[6], ev[7],
+                       ev[8])
+        elif kind == EV_FENTRY:
+            call_stacks.setdefault(ev[3], []).append((ev[1], ev[5]))
+        elif kind == EV_FEXIT:
+            stack = call_stacks.get(ev[2])
+            if stack:
+                stack.pop()
+        elif kind == EV_SPAWN:
+            # spawned thread starts with the spawner's context conceptually,
+            # but its accesses anchor through its own FENTRY call_line
+            yield ev
+        else:
+            yield ev

@@ -1,0 +1,112 @@
+"""Ranking of parallelization targets (§4.3).
+
+Three metrics:
+
+* **Instruction coverage** (§4.3.1) — fraction of the program's executed
+  (memory) instructions spent inside the suggested region; parallelizing a
+  region that covers 1 % of the execution cannot speed the program up by
+  more than 1 % no matter how well it scales.
+* **Local speedup** (§4.3.2) — the speedup of the region *itself* under the
+  suggested transformation on ``n_threads`` threads: iteration-bounded for
+  DOALL, an Amdahl/pipeline bound for DOACROSS, work/critical-path for task
+  graphs.
+* **CU imbalance** (§4.3.3) — how unevenly the parallel work is split over
+  CUs (coefficient of variation of CU work, Fig. 4.6); imbalanced
+  suggestions waste threads on the short CUs while the long one dominates.
+
+The combined score orders suggestions for the user: coverage × local
+speedup, discounted by imbalance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.discovery.loops import LoopClass, LoopInfo
+from repro.discovery.tasks import TaskGraph
+
+
+@dataclass
+class RankingScores:
+    instruction_coverage: float
+    local_speedup: float
+    cu_imbalance: float
+
+    @property
+    def combined(self) -> float:
+        return (
+            self.instruction_coverage
+            * self.local_speedup
+            / (1.0 + self.cu_imbalance)
+        )
+
+
+def instruction_coverage(region_instructions: int, total_instructions: int) -> float:
+    if total_instructions <= 0:
+        return 0.0
+    return min(1.0, region_instructions / total_instructions)
+
+
+def cu_imbalance(workloads: Iterable[int]) -> float:
+    """Coefficient of variation of parallel CU work: 0 = perfectly balanced
+    (Fig. 4.6 left), larger = one CU dominates (Fig. 4.6 right)."""
+    work = [w for w in workloads if w >= 0]
+    if len(work) < 2:
+        return 0.0
+    mean = sum(work) / len(work)
+    if mean == 0:
+        return 0.0
+    var = sum((w - mean) ** 2 for w in work) / len(work)
+    return math.sqrt(var) / mean
+
+
+def loop_local_speedup(info: LoopInfo, n_threads: int) -> float:
+    """Local speedup of a loop suggestion on ``n_threads`` threads."""
+    if info.classification in (LoopClass.DOALL, LoopClass.DOALL_REDUCTION):
+        bound = info.iterations if info.iterations > 0 else n_threads
+        return float(min(n_threads, max(1, bound)))
+    if info.classification == LoopClass.DOACROSS:
+        # Amdahl-style bound: the fraction touched by carried RAWs runs
+        # staggered, the rest overlaps; stages bound the overlap depth.
+        p = info.parallel_fraction
+        overlap = min(n_threads, max(2, info.stages))
+        return 1.0 / ((1.0 - p) + p / overlap)
+    return 1.0
+
+
+def task_graph_local_speedup(graph: TaskGraph, n_threads: int) -> float:
+    return float(min(n_threads, graph.inherent_speedup))
+
+
+def score_loop(
+    info: LoopInfo,
+    total_instructions: int,
+    n_threads: int = 4,
+    body_cu_work: Optional[list[int]] = None,
+) -> RankingScores:
+    coverage = instruction_coverage(info.instructions, total_instructions)
+    speedup = loop_local_speedup(info, n_threads)
+    imbalance = cu_imbalance(body_cu_work or [])
+    return RankingScores(coverage, speedup, imbalance)
+
+
+def score_task_graph(
+    graph: TaskGraph,
+    total_instructions: int,
+    n_threads: int = 4,
+) -> RankingScores:
+    coverage = instruction_coverage(graph.total_work, total_instructions)
+    speedup = task_graph_local_speedup(graph, n_threads)
+    imbalance = cu_imbalance([n.work for n in graph.nodes])
+    return RankingScores(coverage, speedup, imbalance)
+
+
+def rank_suggestions(suggestions: list) -> list:
+    """Sort suggestion records by combined score, best first."""
+    return sorted(
+        suggestions,
+        key=lambda s: s.scores.combined if s.scores else 0.0,
+        reverse=True,
+    )

@@ -1,0 +1,100 @@
+"""Parallelization suggestion records and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.discovery.loops import LoopClass, LoopInfo
+from repro.discovery.ranking import RankingScores
+from repro.discovery.tasks import SPMDTaskGroup, TaskGraph
+
+
+@dataclass
+class Suggestion:
+    """One ranked parallelization opportunity."""
+
+    kind: str  # 'DOALL' | 'DOALL(reduction)' | 'DOACROSS' | 'SPMD' | 'MPMD'
+    func: str
+    start_line: int
+    end_line: int
+    scores: Optional[RankingScores] = None
+    loop: Optional[LoopInfo] = None
+    spmd: Optional[SPMDTaskGroup] = None
+    task_graph: Optional[TaskGraph] = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def location(self) -> str:
+        return f"{self.func}:{self.start_line}-{self.end_line}"
+
+    def render(self) -> str:
+        """Human-readable one-suggestion block, OpenMP-flavoured."""
+        lines = [f"[{self.kind}] {self.location}"]
+        if self.scores:
+            lines.append(
+                f"  coverage={self.scores.instruction_coverage:.1%} "
+                f"local-speedup={self.scores.local_speedup:.2f} "
+                f"imbalance={self.scores.cu_imbalance:.2f} "
+                f"score={self.scores.combined:.3f}"
+            )
+        if self.loop is not None:
+            pragma = self.pragma()
+            if pragma:
+                lines.append(f"  {pragma}")
+            if self.loop.blocking:
+                blockers = ", ".join(
+                    f"{d.var}@{d.sink_line}<-{d.source_line}"
+                    for d in self.loop.blocking[:4]
+                )
+                lines.append(f"  carried RAW: {blockers}")
+            if self.loop.classification == LoopClass.DOACROSS:
+                lines.append(
+                    f"  pipeline stages: {self.loop.stages}, parallel "
+                    f"fraction: {self.loop.parallel_fraction:.0%}"
+                )
+        if self.spmd is not None:
+            call_list = ", ".join(f"line {l}" for l in self.spmd.call_lines)
+            tag = "recursive " if self.spmd.is_recursive else ""
+            lines.append(
+                f"  {tag}task calls to {self.spmd.callee}() at {call_list}"
+            )
+        if self.task_graph is not None:
+            lines.append(
+                f"  task graph: {len(self.task_graph.nodes)} tasks, "
+                f"width {self.task_graph.width}, inherent speedup "
+                f"{self.task_graph.inherent_speedup:.2f}"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def pragma(self) -> str:
+        """OpenMP-style annotation for loop suggestions."""
+        if self.loop is None:
+            if self.spmd is not None:
+                return "#pragma omp task  // per call site"
+            return ""
+        clauses = []
+        if self.loop.private_vars:
+            clauses.append(f"private({', '.join(sorted(self.loop.private_vars))})")
+        if self.loop.reduction_vars:
+            clauses.append(
+                f"reduction(+: {', '.join(sorted(self.loop.reduction_vars))})"
+            )
+        if self.loop.classification in (
+            LoopClass.DOALL,
+            LoopClass.DOALL_REDUCTION,
+        ):
+            return ("#pragma omp parallel for " + " ".join(clauses)).strip()
+        if self.loop.classification == LoopClass.DOACROSS:
+            return "#pragma omp parallel for ordered " + " ".join(clauses)
+        return ""
+
+
+def format_suggestions(suggestions: list[Suggestion]) -> str:
+    if not suggestions:
+        return "(no parallelization opportunities found)"
+    return "\n\n".join(
+        f"#{i + 1} {s.render()}" for i, s in enumerate(suggestions)
+    )

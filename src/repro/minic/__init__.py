@@ -1,0 +1,28 @@
+"""MiniC: the source-language substrate of the reproduction.
+
+The paper instruments C/C++ programs at the LLVM-IR level.  MiniC is a small
+C-like language (functions, ``int``/``float`` scalars and 1-D arrays,
+``for``/``while``/``if``, compound assignment, and explicit threading
+primitives ``spawn``/``join``/``lock``/``unlock``) that plays the role of C in
+this repository.  Programs are parsed to an AST, semantically analysed (scope
+resolution assigns every variable a :class:`~repro.minic.sema.VarInfo`), and
+lowered to MIR (:mod:`repro.mir`), the LLVM-IR-like intermediate
+representation the profiler instruments.
+"""
+
+from repro.minic.lexer import Lexer, LexError
+from repro.minic.parser import Parser, ParseError, parse
+from repro.minic.sema import SemanticAnalyzer, SemanticError, analyze
+from repro.minic import astnodes as ast
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "Parser",
+    "ParseError",
+    "parse",
+    "SemanticAnalyzer",
+    "SemanticError",
+    "analyze",
+    "ast",
+]

@@ -1,0 +1,237 @@
+"""AST node definitions for MiniC.
+
+Every node carries its 1-based source ``line`` — line numbers are the
+currency of the whole framework: data dependences, computational units, and
+parallelization suggestions are all reported against source lines, exactly as
+in the paper's ``fileID:lineID`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Expr:
+    line: int
+
+
+@dataclass(slots=True)
+class Num(Expr):
+    """Integer or floating literal."""
+
+    value: Union[int, float]
+
+
+@dataclass(slots=True)
+class Var(Expr):
+    """A scalar variable reference (or array base when used bare)."""
+
+    name: str
+    # Filled by semantic analysis: unique id of the variable declaration.
+    var_id: Optional[int] = None
+
+
+@dataclass(slots=True)
+class Index(Expr):
+    """Array element access ``base[index]``."""
+
+    base: Var
+    index: Expr
+
+
+@dataclass(slots=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(slots=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    """Function or builtin call."""
+
+    name: str
+    args: list[Expr]
+    is_builtin: bool = False
+
+
+@dataclass(slots=True)
+class SpawnExpr(Expr):
+    """``spawn f(args)`` — starts a VM thread, evaluates to its thread id."""
+
+    name: str
+    args: list[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Stmt:
+    line: int
+
+
+@dataclass(slots=True)
+class VarDecl(Stmt):
+    """``int x;`` / ``float a[10];`` / ``int x = e;``.
+
+    ``array_size`` is an expression (usually a literal) for array
+    declarations, ``None`` for scalars.
+    """
+
+    type_name: str
+    name: str
+    array_size: Optional[Expr] = None
+    init: Optional[Expr] = None
+    var_id: Optional[int] = None
+
+
+@dataclass(slots=True)
+class Assign(Stmt):
+    """``lvalue op= expr`` with op in ``=``, ``+=``, ``-=``, ``*=``, ``/=``,
+    ``%=``.  ``x++;`` / ``x--;`` are desugared to ``x += 1`` / ``x -= 1``."""
+
+    target: Union[Var, Index]
+    op: str
+    value: Expr
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: Expr
+    then_body: "Block"
+    else_body: Optional["Block"] = None
+    end_line: int = 0
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+    end_line: int = 0
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    """``for (init; cond; step) body`` — each clause optional."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: "Block"
+    end_line: int = 0
+
+
+@dataclass(slots=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass(slots=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+    end_line: int = 0
+
+
+@dataclass(slots=True)
+class Lock(Stmt):
+    """``lock(e);`` — acquire VM lock number ``e``."""
+
+    lock_id: Expr
+
+
+@dataclass(slots=True)
+class Unlock(Stmt):
+    lock_id: Expr
+
+
+@dataclass(slots=True)
+class Join(Stmt):
+    """``join(e);`` — wait for thread id ``e``."""
+
+    tid: Expr
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Param:
+    line: int
+    type_name: str
+    name: str
+    is_array: bool = False
+    var_id: Optional[int] = None
+
+
+@dataclass(slots=True)
+class FuncDef:
+    line: int
+    return_type: str
+    name: str
+    params: list[Param]
+    body: Block
+    end_line: int = 0
+
+
+@dataclass(slots=True)
+class Program:
+    """A whole MiniC translation unit."""
+
+    globals: list[VarDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+EXPR_NODES = (Num, Var, Index, BinOp, UnOp, Call, SpawnExpr)
+STMT_NODES = (
+    VarDecl,
+    Assign,
+    ExprStmt,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Block,
+    Lock,
+    Unlock,
+    Join,
+)

@@ -1,0 +1,140 @@
+"""Hand-written lexer for MiniC.
+
+Produces a list of :class:`~repro.minic.tokens.Token`.  Supports ``//`` line
+comments and ``/* */`` block comments, decimal integer and floating literals,
+identifiers, keywords, and the operator set in :mod:`repro.minic.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.minic.tokens import KEYWORDS, MULTI_OPS, SINGLE_OPS, Token
+
+
+class LexError(Exception):
+    """Raised on malformed input; carries the offending line/column."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class Lexer:
+    """Tokenises MiniC source text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self.source[self.pos] == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line, start_col)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        saw_dot = False
+        saw_exp = False
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and self.pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    saw_exp = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        text = self.source[start : self.pos]
+        if saw_dot or saw_exp:
+            return Token("floatlit", float(text), line, col)
+        return Token("intlit", int(text), line, col)
+
+    def _lex_word(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.pos]
+        if text in KEYWORDS:
+            return Token(text, text, line, col)
+        return Token("ident", text, line, col)
+
+    def tokens(self) -> list[Token]:
+        """Lex the full input and return the token list, ending with EOF."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                out.append(Token("eof", None, self.line, self.col))
+                return out
+            ch = self.source[self.pos]
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                out.append(self._lex_number())
+            elif ch.isalpha() or ch == "_":
+                out.append(self._lex_word())
+            else:
+                matched = False
+                for op in MULTI_OPS:
+                    if self.source.startswith(op, self.pos):
+                        out.append(Token(op, op, self.line, self.col))
+                        self._advance(len(op))
+                        matched = True
+                        break
+                if matched:
+                    continue
+                if ch in SINGLE_OPS:
+                    out.append(Token(ch, ch, self.line, self.col))
+                    self._advance()
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` to a token list."""
+    return Lexer(source).tokens()

@@ -1,0 +1,349 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is deliberately close to a C subset so the benchmark kernels in
+:mod:`repro.workloads` read like the originals in NAS / Starbench / BOTS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.minic import astnodes as ast
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import Token
+
+TYPE_NAMES = ("int", "float", "void")
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=")
+
+
+class ParseError(Exception):
+    """Raised when the token stream does not match the grammar."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.line}:{token.col}: {message} (got {token.kind!r})")
+        self.token = token
+
+
+class Parser:
+    """Parses a token list into a :class:`repro.minic.astnodes.Program`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: str) -> Token:
+        tok = self._peek()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind!r}", tok)
+        return self._next()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._peek().kind == kind:
+            return self._next()
+        return None
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self._peek().kind != "eof":
+            tok = self._peek()
+            if tok.kind not in TYPE_NAMES:
+                raise ParseError("expected declaration or function", tok)
+            # Distinguish `type name (` (function) from `type name ...;`.
+            if self._peek(2).kind == "(":
+                program.functions.append(self._parse_funcdef())
+            else:
+                program.globals.append(self._parse_vardecl())
+        return program
+
+    def _parse_funcdef(self) -> ast.FuncDef:
+        type_tok = self._next()
+        name_tok = self._expect("ident")
+        self._expect("(")
+        params: list[ast.Param] = []
+        if self._peek().kind != ")":
+            while True:
+                ptype = self._next()
+                if ptype.kind not in ("int", "float"):
+                    raise ParseError("expected parameter type", ptype)
+                pname = self._expect("ident")
+                is_array = False
+                if self._accept("["):
+                    self._expect("]")
+                    is_array = True
+                params.append(
+                    ast.Param(pname.line, ptype.kind, pname.value, is_array)
+                )
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        body = self._parse_block()
+        return ast.FuncDef(
+            type_tok.line, type_tok.kind, name_tok.value, params, body, body.end_line
+        )
+
+    def _parse_vardecl(self) -> ast.VarDecl:
+        type_tok = self._next()
+        if type_tok.kind not in ("int", "float"):
+            raise ParseError("expected variable type", type_tok)
+        name_tok = self._expect("ident")
+        array_size: Optional[ast.Expr] = None
+        init: Optional[ast.Expr] = None
+        if self._accept("["):
+            array_size = self._parse_expr()
+            self._expect("]")
+        if self._accept("="):
+            init = self._parse_expr()
+        self._expect(";")
+        return ast.VarDecl(
+            name_tok.line, type_tok.kind, name_tok.value, array_size, init
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        open_tok = self._expect("{")
+        body: list[ast.Stmt] = []
+        while self._peek().kind != "}":
+            if self._peek().kind == "eof":
+                raise ParseError("unterminated block", self._peek())
+            body.append(self._parse_stmt())
+        close_tok = self._expect("}")
+        return ast.Block(open_tok.line, body, close_tok.line)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        kind = tok.kind
+        if kind in ("int", "float"):
+            return self._parse_vardecl()
+        if kind == "{":
+            return self._parse_block()
+        if kind == "if":
+            return self._parse_if()
+        if kind == "while":
+            return self._parse_while()
+        if kind == "for":
+            return self._parse_for()
+        if kind == "return":
+            self._next()
+            value = None if self._peek().kind == ";" else self._parse_expr()
+            self._expect(";")
+            return ast.Return(tok.line, value)
+        if kind == "break":
+            self._next()
+            self._expect(";")
+            return ast.Break(tok.line)
+        if kind == "continue":
+            self._next()
+            self._expect(";")
+            return ast.Continue(tok.line)
+        if kind == "lock":
+            self._next()
+            self._expect("(")
+            lock_id = self._parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return ast.Lock(tok.line, lock_id)
+        if kind == "unlock":
+            self._next()
+            self._expect("(")
+            lock_id = self._parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return ast.Unlock(tok.line, lock_id)
+        if kind == "join":
+            self._next()
+            self._expect("(")
+            tid = self._parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return ast.Join(tok.line, tid)
+        stmt = self._parse_simple_stmt()
+        self._expect(";")
+        return stmt
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """An assignment / increment / expression — no trailing ``;``.
+
+        Shared between ordinary statements and ``for`` init/step clauses.
+        """
+        tok = self._peek()
+        if tok.kind in ("int", "float"):
+            # declaration in a `for` init clause: `for (int i = 0; ...)`
+            type_tok = self._next()
+            name_tok = self._expect("ident")
+            init = None
+            if self._accept("="):
+                init = self._parse_expr()
+            return ast.VarDecl(name_tok.line, type_tok.kind, name_tok.value, None, init)
+        expr = self._parse_expr()
+        nxt = self._peek().kind
+        if nxt in _ASSIGN_OPS:
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError("invalid assignment target", self._peek())
+            op_tok = self._next()
+            value = self._parse_expr()
+            return ast.Assign(expr.line, expr, op_tok.kind, value)
+        if nxt in ("++", "--"):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError("invalid increment target", self._peek())
+            op_tok = self._next()
+            op = "+=" if op_tok.kind == "++" else "-="
+            return ast.Assign(expr.line, expr, op, ast.Num(expr.line, 1))
+        return ast.ExprStmt(expr.line, expr)
+
+    def _parse_if(self) -> ast.If:
+        tok = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then_body = self._stmt_as_block()
+        else_body = None
+        end_line = then_body.end_line
+        if self._accept("else"):
+            else_body = self._stmt_as_block()
+            end_line = else_body.end_line
+        return ast.If(tok.line, cond, then_body, else_body, end_line)
+
+    def _parse_while(self) -> ast.While:
+        tok = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._stmt_as_block()
+        return ast.While(tok.line, cond, body, body.end_line)
+
+    def _parse_for(self) -> ast.For:
+        tok = self._expect("for")
+        self._expect("(")
+        init = None if self._peek().kind == ";" else self._parse_simple_stmt()
+        self._expect(";")
+        cond = None if self._peek().kind == ";" else self._parse_expr()
+        self._expect(";")
+        step = None if self._peek().kind == ")" else self._parse_simple_stmt()
+        self._expect(")")
+        body = self._stmt_as_block()
+        return ast.For(tok.line, init, cond, step, body, body.end_line)
+
+    def _stmt_as_block(self) -> ast.Block:
+        """Wrap a single statement body in a Block for uniform regions."""
+        if self._peek().kind == "{":
+            return self._parse_block()
+        stmt = self._parse_stmt()
+        return ast.Block(stmt.line, [stmt], getattr(stmt, "end_line", 0) or stmt.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = self._peek().kind
+            prec = _PRECEDENCE.get(op)
+            if prec is None or prec < min_prec:
+                return left
+            op_tok = self._next()
+            right = self._parse_binary(prec + 1)
+            left = ast.BinOp(op_tok.line, op, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind in ("-", "!", "~"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.UnOp(tok.line, tok.kind, operand)
+        if tok.kind == "+":
+            self._next()
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == "(":
+            self._next()
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        if tok.kind in ("int", "float") and self._peek(1).kind == "(":
+            # cast syntax `int(e)` / `float(e)` — lowered as builtin call
+            self._next()
+            self._expect("(")
+            arg = self._parse_expr()
+            self._expect(")")
+            return ast.Call(tok.line, f"__{tok.kind}", [arg], is_builtin=True)
+        if tok.kind == "spawn":
+            self._next()
+            name_tok = self._expect("ident")
+            args = self._parse_args()
+            return ast.SpawnExpr(tok.line, name_tok.value, args)
+        if tok.kind == "ident":
+            name_tok = self._next()
+            if self._peek().kind == "(":
+                args = self._parse_args()
+                return ast.Call(name_tok.line, name_tok.value, args)
+            base = ast.Var(name_tok.line, name_tok.value)
+            if self._accept("["):
+                index = self._parse_expr()
+                self._expect("]")
+                return ast.Index(name_tok.line, base, index)
+            return base
+        if tok.kind in ("intlit", "floatlit"):
+            self._next()
+            return ast.Num(tok.line, tok.value)
+        if tok.kind == "eof":
+            raise ParseError("unexpected end of input", tok)
+        raise ParseError("unexpected token in expression", tok)
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self._expect("(")
+        args: list[ast.Expr] = []
+        if self._peek().kind != ")":
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return args
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

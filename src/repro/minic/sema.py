@@ -1,0 +1,374 @@
+"""Semantic analysis for MiniC.
+
+Performs scope resolution and assigns every declared variable a unique
+:class:`VarInfo`.  The *scope path* stored on each variable (the chain of
+lexical block ids from the function body down to the declaring block) is what
+Chapter 3's global/local variable analysis consumes: a variable is *local* to
+a control region iff the region's block id appears on its scope path,
+otherwise it is *global to the region* (even when it is merely declared in an
+enclosing function scope — exactly the notion used to define CUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.minic import astnodes as ast
+
+#: Builtin functions available to MiniC programs.  ``arity`` of -1 means
+#: variadic.  All builtins are pure except ``rand``/``alloc``/``free``/
+#: ``print`` (the VM gives ``rand`` a deterministic seeded stream).
+BUILTINS: dict[str, int] = {
+    "rand": 0,
+    "sqrt": 1,
+    "abs": 1,
+    "floor": 1,
+    "ceil": 1,
+    "min": 2,
+    "max": 2,
+    "exp": 1,
+    "log": 1,
+    "sin": 1,
+    "cos": 1,
+    "pow": 2,
+    "print": -1,
+    "alloc": 1,
+    "free": 1,
+    "__int": 1,
+    "__float": 1,
+}
+
+
+class SemanticError(Exception):
+    """Raised on scope/arity/shape violations; carries the source line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(slots=True)
+class VarInfo:
+    """Identity record of one declared variable."""
+
+    var_id: int
+    name: str
+    type_name: str
+    is_array: bool
+    array_size: Optional[int]
+    kind: str  # 'global' | 'local' | 'param'
+    func: Optional[str]
+    decl_line: int
+    scope_path: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of memory words occupied (array params occupy one word:
+        they hold the referenced base address)."""
+        if self.is_array and self.kind != "param" and self.array_size is not None:
+            return self.array_size
+        return 1
+
+
+@dataclass(slots=True)
+class FuncInfo:
+    name: str
+    return_type: str
+    params: list[VarInfo]
+    node: ast.FuncDef
+    local_vars: list[VarInfo] = field(default_factory=list)
+
+
+@dataclass
+class SymbolTable:
+    """Result of semantic analysis over one Program."""
+
+    variables: dict[int, VarInfo] = field(default_factory=dict)
+    functions: dict[str, FuncInfo] = field(default_factory=dict)
+    global_vars: list[VarInfo] = field(default_factory=list)
+    #: next unused lexical scope id (scope 0 is the global scope)
+    n_scopes: int = 1
+
+    def var(self, var_id: int) -> VarInfo:
+        return self.variables[var_id]
+
+
+class SemanticAnalyzer:
+    """Resolves names, assigns var ids, checks arity and array shape."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.table = SymbolTable()
+        self._next_var_id = 0
+        self._next_scope_id = 1
+        # Stack of (scope_id, {name: VarInfo}).
+        self._scopes: list[tuple[int, dict[str, VarInfo]]] = []
+        self._current_func: Optional[FuncInfo] = None
+
+    # -- public entry --------------------------------------------------------
+
+    def analyze(self) -> SymbolTable:
+        # Register function signatures first so calls can be forward.
+        for func in self.program.functions:
+            if func.name in self.table.functions:
+                raise SemanticError(f"duplicate function {func.name!r}", func.line)
+            if func.name in BUILTINS:
+                raise SemanticError(
+                    f"function {func.name!r} shadows a builtin", func.line
+                )
+            self.table.functions[func.name] = FuncInfo(
+                func.name, func.return_type, [], func
+            )
+
+        self._scopes.append((0, {}))
+        for decl in self.program.globals:
+            info = self._declare(decl, kind="global")
+            self.table.global_vars.append(info)
+            if decl.init is not None:
+                if not isinstance(decl.init, ast.Num):
+                    raise SemanticError(
+                        f"global {decl.name!r} initializer must be a literal",
+                        decl.line,
+                    )
+                self._visit_expr(decl.init)
+
+        for func in self.program.functions:
+            self._analyze_function(func)
+
+        self._scopes.pop()
+        self.table.n_scopes = self._next_scope_id
+        return self.table
+
+    # -- declarations --------------------------------------------------------
+
+    def _declare(self, decl: ast.VarDecl, kind: str) -> VarInfo:
+        scope_id, names = self._scopes[-1]
+        if decl.name in names:
+            raise SemanticError(f"redeclaration of {decl.name!r}", decl.line)
+        array_size: Optional[int] = None
+        is_array = decl.array_size is not None
+        if is_array:
+            if not isinstance(decl.array_size, ast.Num) or not isinstance(
+                decl.array_size.value, int
+            ):
+                raise SemanticError(
+                    f"array {decl.name!r} needs a literal integer size "
+                    "(use alloc() for dynamic arrays)",
+                    decl.line,
+                )
+            array_size = decl.array_size.value
+            if array_size <= 0:
+                raise SemanticError(f"array {decl.name!r} size must be > 0", decl.line)
+        info = VarInfo(
+            var_id=self._next_var_id,
+            name=decl.name,
+            type_name=decl.type_name,
+            is_array=is_array,
+            array_size=array_size,
+            kind=kind,
+            func=self._current_func.name if self._current_func else None,
+            decl_line=decl.line,
+            scope_path=tuple(sid for sid, _ in self._scopes),
+        )
+        self._next_var_id += 1
+        names[decl.name] = info
+        self.table.variables[info.var_id] = info
+        decl.var_id = info.var_id
+        if self._current_func is not None and kind == "local":
+            self._current_func.local_vars.append(info)
+        return info
+
+    def _declare_param(self, param: ast.Param) -> VarInfo:
+        scope_id, names = self._scopes[-1]
+        if param.name in names:
+            raise SemanticError(f"duplicate parameter {param.name!r}", param.line)
+        info = VarInfo(
+            var_id=self._next_var_id,
+            name=param.name,
+            type_name=param.type_name,
+            is_array=param.is_array,
+            array_size=None,
+            kind="param",
+            func=self._current_func.name if self._current_func else None,
+            decl_line=param.line,
+            scope_path=tuple(sid for sid, _ in self._scopes),
+        )
+        self._next_var_id += 1
+        names[param.name] = info
+        self.table.variables[info.var_id] = info
+        param.var_id = info.var_id
+        return info
+
+    # -- functions & statements ----------------------------------------------
+
+    def _analyze_function(self, func: ast.FuncDef) -> None:
+        finfo = self.table.functions[func.name]
+        self._current_func = finfo
+        scope_id = self._next_scope_id
+        self._next_scope_id += 1
+        self._scopes.append((scope_id, {}))
+        for param in func.params:
+            finfo.params.append(self._declare_param(param))
+        # The function body block shares the parameter scope.
+        for stmt in func.body.body:
+            self._visit_stmt(stmt)
+        self._scopes.pop()
+        self._current_func = None
+
+    def _visit_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._visit_expr(stmt.init)
+            self._declare(stmt, kind="local")
+        elif isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value)
+            self._visit_lvalue(stmt.target)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._visit_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._visit_expr(stmt.cond)
+            self._visit_block(stmt.then_body)
+            if stmt.else_body is not None:
+                self._visit_block(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self._visit_expr(stmt.cond)
+            self._visit_block(stmt.body)
+        elif isinstance(stmt, ast.For):
+            # The init clause scopes its declaration over the whole loop.
+            scope_id = self._next_scope_id
+            self._next_scope_id += 1
+            self._scopes.append((scope_id, {}))
+            if stmt.init is not None:
+                self._visit_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._visit_expr(stmt.cond)
+            if stmt.step is not None:
+                self._visit_stmt(stmt.step)
+            self._visit_block(stmt.body, new_scope=False)
+            self._scopes.pop()
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+        elif isinstance(stmt, ast.Block):
+            self._visit_block(stmt)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        elif isinstance(stmt, (ast.Lock, ast.Unlock)):
+            self._visit_expr(stmt.lock_id)
+        elif isinstance(stmt, ast.Join):
+            self._visit_expr(stmt.tid)
+        else:  # pragma: no cover - exhaustive
+            raise SemanticError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _visit_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            scope_id = self._next_scope_id
+            self._next_scope_id += 1
+            self._scopes.append((scope_id, {}))
+        for stmt in block.body:
+            self._visit_stmt(stmt)
+        if new_scope:
+            self._scopes.pop()
+
+    # -- expressions -----------------------------------------------------------
+
+    def _lookup(self, name: str, line: int) -> VarInfo:
+        for _, names in reversed(self._scopes):
+            if name in names:
+                return names[name]
+        raise SemanticError(f"undeclared variable {name!r}", line)
+
+    def _visit_lvalue(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.Var):
+            info = self._lookup(target.name, target.line)
+            if info.is_array:
+                raise SemanticError(
+                    f"cannot assign whole array {target.name!r}", target.line
+                )
+            target.var_id = info.var_id
+        elif isinstance(target, ast.Index):
+            self._visit_expr(target.index)
+            info = self._lookup(target.base.name, target.line)
+            if not info.is_array and info.type_name != "int":
+                raise SemanticError(
+                    f"{target.base.name!r} is not indexable", target.line
+                )
+            target.base.var_id = info.var_id
+        else:  # pragma: no cover - parser guarantees
+            raise SemanticError("invalid assignment target", target.line)
+
+    def _visit_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Num):
+            return
+        if isinstance(expr, ast.Var):
+            info = self._lookup(expr.name, expr.line)
+            expr.var_id = info.var_id
+            return
+        if isinstance(expr, ast.Index):
+            self._visit_expr(expr.index)
+            info = self._lookup(expr.base.name, expr.line)
+            if not info.is_array and info.type_name != "int":
+                raise SemanticError(f"{expr.base.name!r} is not indexable", expr.line)
+            expr.base.var_id = info.var_id
+            return
+        if isinstance(expr, ast.BinOp):
+            self._visit_expr(expr.left)
+            self._visit_expr(expr.right)
+            return
+        if isinstance(expr, ast.UnOp):
+            self._visit_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name in BUILTINS:
+                expr.is_builtin = True
+                arity = BUILTINS[expr.name]
+                if arity >= 0 and len(expr.args) != arity:
+                    raise SemanticError(
+                        f"builtin {expr.name!r} expects {arity} args, "
+                        f"got {len(expr.args)}",
+                        expr.line,
+                    )
+            else:
+                finfo = self.table.functions.get(expr.name)
+                if finfo is None:
+                    raise SemanticError(f"unknown function {expr.name!r}", expr.line)
+                if len(expr.args) != len(finfo.node.params):
+                    raise SemanticError(
+                        f"function {expr.name!r} expects "
+                        f"{len(finfo.node.params)} args, got {len(expr.args)}",
+                        expr.line,
+                    )
+            for i, arg in enumerate(expr.args):
+                # Array arguments are passed bare (by reference).
+                if isinstance(arg, ast.Var):
+                    info = self._lookup(arg.name, arg.line)
+                    arg.var_id = info.var_id
+                else:
+                    self._visit_expr(arg)
+            return
+        if isinstance(expr, ast.SpawnExpr):
+            finfo = self.table.functions.get(expr.name)
+            if finfo is None:
+                raise SemanticError(f"unknown function {expr.name!r}", expr.line)
+            if len(expr.args) != len(finfo.node.params):
+                raise SemanticError(
+                    f"spawned function {expr.name!r} expects "
+                    f"{len(finfo.node.params)} args, got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg in expr.args:
+                if isinstance(arg, ast.Var):
+                    info = self._lookup(arg.name, arg.line)
+                    arg.var_id = info.var_id
+                else:
+                    self._visit_expr(arg)
+            return
+        raise SemanticError(  # pragma: no cover - exhaustive
+            f"unknown expression {type(expr).__name__}", expr.line
+        )
+
+
+def analyze(program: ast.Program) -> SymbolTable:
+    """Run semantic analysis, mutating the AST with variable ids."""
+    return SemanticAnalyzer(program).analyze()

@@ -1,0 +1,68 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.  Keywords are their own kind so the parser can match on kind
+# alone; operators/punctuation use the lexeme itself as the kind.
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "spawn",
+        "join",
+        "lock",
+        "unlock",
+    }
+)
+
+# Multi-character operators, longest first so the lexer can greedily match.
+MULTI_OPS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+    "<<",
+    ">>",
+)
+
+SINGLE_OPS = frozenset("+-*/%<>=!&|^~(){}[];,")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of: ``"ident"``, ``"int"``, ``"float"``, a keyword, an
+    operator lexeme (e.g. ``"+="``), or ``"eof"``.  ``value`` holds the
+    identifier text or numeric literal.  ``line``/``col`` are 1-based source
+    coordinates used throughout the framework for dependence reporting.
+    """
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.col})"

@@ -1,0 +1,141 @@
+"""Control-flow graph construction and dominance analyses for MIR.
+
+Used by the re-convergence-point computation (§3.2.2: a branch's
+re-convergence point is the immediate post-dominator of the branch block)
+and by tests that validate lowering structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mir.instructions import Opcode
+from repro.mir.module import Function
+
+
+@dataclass
+class CFG:
+    """Successor/predecessor maps over basic-block labels."""
+
+    entry: int
+    succs: dict[int, list[int]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+    exits: list[int] = field(default_factory=list)
+
+    @property
+    def blocks(self) -> list[int]:
+        return sorted(self.succs)
+
+    def reachable(self) -> set[int]:
+        """Labels reachable from the entry block."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            for succ in self.succs.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+def build_cfg(func: Function) -> CFG:
+    """Build the CFG of a finalized function."""
+    index_to_label = {idx: label for label, idx in func.block_starts.items()}
+    cfg = CFG(entry=0)
+    for block in func.blocks:
+        cfg.succs.setdefault(block.label, [])
+        cfg.preds.setdefault(block.label, [])
+    for i, block in enumerate(func.blocks):
+        term = block.terminator
+        succs: list[int] = []
+        if term is None:
+            # fall-through into the next block (possible for dead blocks)
+            if i + 1 < len(func.blocks):
+                succs = [func.blocks[i + 1].label]
+        elif term.op == Opcode.JMP:
+            succs = [index_to_label[term.a]]
+        elif term.op == Opcode.BR:
+            succs = [index_to_label[term.b], index_to_label[term.c]]
+        elif term.op == Opcode.RET:
+            cfg.exits.append(block.label)
+        cfg.succs[block.label] = succs
+        for succ in succs:
+            cfg.preds[succ].append(block.label)
+    return cfg
+
+
+def _dominators_of(
+    nodes: list[int], entry: int, preds: dict[int, list[int]]
+) -> dict[int, set[int]]:
+    """Classic iterative data-flow dominator computation."""
+    node_set = set(nodes)
+    dom: dict[int, set[int]] = {n: set(nodes) for n in nodes}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == entry:
+                continue
+            pred_doms = [
+                dom[p] for p in preds.get(node, ()) if p in node_set
+            ]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.add(node)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def dominators(cfg: CFG) -> dict[int, set[int]]:
+    """dom(b) = blocks dominating b (including b)."""
+    nodes = [n for n in cfg.blocks if n in cfg.reachable()]
+    return _dominators_of(nodes, cfg.entry, cfg.preds)
+
+
+def postdominators(cfg: CFG) -> dict[int, set[int]]:
+    """pdom(b) = blocks post-dominating b, computed on the reversed CFG.
+
+    Multiple exits are joined through a virtual exit node (label -1).
+    """
+    reachable = cfg.reachable()
+    nodes = [n for n in cfg.blocks if n in reachable]
+    virtual_exit = -1
+    # Predecessors in the REVERSED graph: preds_rev(x) = succs_original(x),
+    # plus the virtual exit for original exit blocks (the reverse graph's
+    # entry feeds them).
+    rev_preds: dict[int, list[int]] = {virtual_exit: []}
+    for node in nodes:
+        succs = [s for s in cfg.succs.get(node, ()) if s in reachable]
+        rev_preds[node] = list(succs)
+        if not succs or node in cfg.exits:
+            rev_preds[node].append(virtual_exit)
+    pdom = _dominators_of(
+        nodes + [virtual_exit],
+        virtual_exit,
+        rev_preds,
+    )
+    for node in pdom:
+        pdom[node].discard(virtual_exit)
+    pdom.pop(virtual_exit, None)
+    return pdom
+
+
+def immediate_postdominator(
+    cfg: CFG, block: int, pdom: Optional[dict[int, set[int]]] = None
+) -> Optional[int]:
+    """The re-convergence point of a branch at ``block`` (§3.2.2)."""
+    if pdom is None:
+        pdom = postdominators(cfg)
+    candidates = pdom.get(block, set()) - {block}
+    if not candidates:
+        return None
+    # The immediate post-dominator is the candidate post-dominated by all
+    # other candidates.
+    for cand in candidates:
+        if all(cand in pdom[other] or other == cand for other in candidates):
+            return cand
+    return None

@@ -1,0 +1,182 @@
+"""MIR instruction set.
+
+A single :class:`Instr` class with generic fields keeps the interpreter's
+dispatch loop simple and fast (attribute access on slotted objects, no
+per-opcode classes).  Operands are small tuples:
+
+* ``('i', value)`` — immediate constant
+* ``('r', idx)``   — virtual register ``idx`` of the current frame
+
+Memory references (``load``/``store``) are tuples too:
+
+* ``('g', offset)`` — absolute address ``offset`` (globals segment)
+* ``('f', offset)`` — ``frame_base + offset`` (locals)
+* ``('a', reg)``    — absolute address held in register ``reg`` (computed
+  array-element addresses, heap pointers, array parameters)
+
+Every ``load``/``store`` carries the source line, the variable name, the
+variable id, and a globally unique static *memory-operation id* (``op_id``) —
+the identity on which the paper's loop-skipping optimization (§2.4) keys its
+``lastAddr`` / ``lastStatusRead`` / ``lastStatusWrite`` state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Opcode:
+    """Opcode name constants (plain strings for cheap dispatch)."""
+
+    CONST = "const"
+    BIN = "bin"
+    UN = "un"
+    LOAD = "load"
+    STORE = "store"
+    ADDR = "addr"
+    BR = "br"
+    JMP = "jmp"
+    CALL = "call"
+    CALLB = "callb"
+    RET = "ret"
+    ENTER = "enter"  # region entry marker
+    EXIT = "exit"  # region exit marker
+    ITER = "iter"  # loop latch marker (one executed iteration)
+    SPAWN = "spawn"
+    JOIN = "join"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+
+    ALL = (
+        CONST,
+        BIN,
+        UN,
+        LOAD,
+        STORE,
+        ADDR,
+        BR,
+        JMP,
+        CALL,
+        CALLB,
+        RET,
+        ENTER,
+        EXIT,
+        ITER,
+        SPAWN,
+        JOIN,
+        LOCK,
+        UNLOCK,
+    )
+
+
+class Instr:
+    """One MIR instruction.
+
+    Field usage by opcode::
+
+        const  dest=reg           a=value
+        bin    dest=reg           a=op-string  b=lhs-operand  c=rhs-operand
+        un     dest=reg           a=op-string  b=operand
+        load   dest=reg           a=memref                  [line,var,var_id,op_id]
+        store                     a=memref     b=src-operand [line,var,var_id,op_id]
+        addr   dest=reg           a=space      b=base        c=index-operand
+               (space 'g': abs base; 'f': frame-relative; 'r': base in reg b)
+        br                        a=cond-operand b=true-target c=false-target
+        jmp                       a=target
+        call   dest=reg|None      a=func-name  b=[operands]
+        callb  dest=reg|None      a=builtin    b=[operands]
+        ret                       a=operand|None
+        enter/exit/iter           a=region-id
+        spawn  dest=reg|None      a=func-name  b=[operands]
+        join                      a=operand
+        lock/unlock               a=operand
+
+    Branch/jump targets are block labels during construction and are patched
+    to linear code indices by :meth:`repro.mir.module.Function.finalize`.
+    """
+
+    __slots__ = ("op", "dest", "a", "b", "c", "line", "var", "var_id", "op_id")
+
+    def __init__(
+        self,
+        op: str,
+        dest: Optional[int] = None,
+        a: Any = None,
+        b: Any = None,
+        c: Any = None,
+        line: int = 0,
+        var: Optional[str] = None,
+        var_id: Optional[int] = None,
+        op_id: Optional[int] = None,
+    ) -> None:
+        self.op = op
+        self.dest = dest
+        self.a = a
+        self.b = b
+        self.c = c
+        self.line = line
+        self.var = var
+        self.var_id = var_id
+        self.op_id = op_id
+
+    def is_memory(self) -> bool:
+        """True for instrumented memory operations (load/store)."""
+        return self.op == Opcode.LOAD or self.op == Opcode.STORE
+
+    def is_terminator(self) -> bool:
+        return self.op in (Opcode.BR, Opcode.JMP, Opcode.RET)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op]
+        if self.dest is not None:
+            parts.append(f"r{self.dest} <-")
+        for field in (self.a, self.b, self.c):
+            if field is not None:
+                parts.append(repr(field))
+        if self.var:
+            parts.append(f"[{self.var}@{self.line}]")
+        return "<" + " ".join(str(p) for p in parts) + ">"
+
+
+# Arithmetic implementations shared by the interpreter and constant folding.
+# MiniC ints are Python ints; division of two ints truncates like C.
+def _div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    return a / b
+
+
+def _mod(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        r = abs(a) % abs(b)
+        return -r if a < 0 else r
+    import math
+
+    return math.fmod(a, b)
+
+
+BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _div,
+    "%": _mod,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "&": lambda a, b: int(a) & int(b),
+    "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+    "<<": lambda a, b: int(a) << int(b),
+    ">>": lambda a, b: int(a) >> int(b),
+}
+
+UNOPS = {
+    "-": lambda a: -a,
+    "!": lambda a: 1 if not a else 0,
+    "~": lambda a: ~int(a),
+}

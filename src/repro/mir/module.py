@@ -1,0 +1,183 @@
+"""MIR container structures: Module, Function, BasicBlock, Region.
+
+A :class:`Module` corresponds to one MiniC translation unit: a global memory
+layout, a set of functions, and the static control-region tree that the
+profiler's BGN/END records and the CU builder's region walks refer to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mir.instructions import Instr, Opcode
+from repro.minic.sema import SymbolTable, VarInfo
+
+
+@dataclass(slots=True)
+class Region:
+    """A static control region (function body, loop, or branch).
+
+    Mirrors the paper's control regions: the profiler emits ``BGN``/``END``
+    records for them and CUs never cross their boundaries.
+    """
+
+    region_id: int
+    kind: str  # 'func' | 'loop' | 'branch'
+    func: str
+    start_line: int
+    end_line: int
+    parent: Optional[int]
+    children: list[int] = field(default_factory=list)
+    #: variables declared lexically inside the region (local to it)
+    declared_vars: frozenset = frozenset()
+    #: variables read / written anywhere inside the region
+    read_vars: frozenset = frozenset()
+    written_vars: frozenset = frozenset()
+    #: used-but-declared-outside — the paper's ``globalVars`` of the region
+    global_vars: frozenset = frozenset()
+    #: loop-iteration variable (§3.2.5), None for non-loops/while loops
+    iter_var: Optional[int] = None
+    #: True when the iteration variable is also written in the loop body,
+    #: which makes it global to the loop per §3.2.5
+    iter_var_written_in_body: bool = False
+
+    def contains_line(self, line: int) -> bool:
+        return self.start_line <= line <= self.end_line
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    __slots__ = ("label", "instrs")
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self.instrs: list[Instr] = []
+
+    def append(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator():
+            return self.instrs[-1]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<bb{self.label}: {len(self.instrs)} instrs>"
+
+
+class Function:
+    """One MIR function.
+
+    During lowering instructions live in :attr:`blocks`; :meth:`finalize`
+    flattens them into :attr:`code` (a linear instruction array) and patches
+    branch targets from block labels to code indices — the form the
+    interpreter executes.
+    """
+
+    def __init__(self, name: str, params: list[VarInfo], return_type: str) -> None:
+        self.name = name
+        self.params = params
+        self.return_type = return_type
+        self.blocks: list[BasicBlock] = []
+        #: frame layout: var_id -> word offset within the frame
+        self.frame_slots: dict[int, int] = {}
+        self.frame_size = 0
+        self.n_regs = 0
+        #: registers that receive array-parameter base addresses, in
+        #: parameter order (None for scalar params, which get frame slots)
+        self.param_regs: list[Optional[int]] = []
+        self.code: list[Instr] = []
+        self.block_starts: dict[int, int] = {}
+        self.region_id: Optional[int] = None
+        self.start_line = 0
+        self.end_line = 0
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def finalize(self) -> None:
+        """Flatten blocks to linear code and patch jump targets."""
+        self.code = []
+        self.block_starts = {}
+        for block in self.blocks:
+            self.block_starts[block.label] = len(self.code)
+            self.code.extend(block.instrs)
+        for instr in self.code:
+            if instr.op == Opcode.JMP:
+                instr.a = self.block_starts[instr.a]
+            elif instr.op == Opcode.BR:
+                instr.b = self.block_starts[instr.b]
+                instr.c = self.block_starts[instr.c]
+
+    @property
+    def n_instrs(self) -> int:
+        return len(self.code) if self.code else sum(
+            len(b.instrs) for b in self.blocks
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Function {self.name} blocks={len(self.blocks)}>"
+
+
+class Module:
+    """A compiled MiniC translation unit."""
+
+    def __init__(self, name: str, symtab: SymbolTable, file_id: int = 1) -> None:
+        self.name = name
+        self.file_id = file_id
+        self.symtab = symtab
+        self.functions: dict[str, Function] = {}
+        #: var_id -> absolute address of the global's first word
+        self.global_offsets: dict[int, int] = {}
+        #: address -> literal initial value (constant global initializers)
+        self.global_init: dict[int, object] = {}
+        self.global_size = 0
+        self.regions: dict[int, Region] = {}
+        #: memory-operation id -> the load/store Instr (static instrumentation
+        #: site table; the skipping optimization allocates its per-op state
+        #: from this)
+        self.mem_ops: dict[int, Instr] = {}
+        self.source: str = ""
+
+    # -- regions -------------------------------------------------------------
+
+    def add_region(self, region: Region) -> Region:
+        self.regions[region.region_id] = region
+        if region.parent is not None:
+            self.regions[region.parent].children.append(region.region_id)
+        return region
+
+    def loops(self) -> list[Region]:
+        return [r for r in self.regions.values() if r.kind == "loop"]
+
+    def region_of_function(self, name: str) -> Region:
+        func = self.functions[name]
+        assert func.region_id is not None
+        return self.regions[func.region_id]
+
+    # -- variables -----------------------------------------------------------
+
+    def var(self, var_id: int) -> VarInfo:
+        return self.symtab.variables[var_id]
+
+    def global_layout(self) -> list[tuple[VarInfo, int]]:
+        return [
+            (self.symtab.variables[vid], off)
+            for vid, off in sorted(self.global_offsets.items(), key=lambda p: p[1])
+        ]
+
+    @property
+    def n_instrs(self) -> int:
+        return sum(f.n_instrs for f in self.functions.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.regions)} regions, {self.n_instrs} instrs>"
+        )

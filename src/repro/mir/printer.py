@@ -1,0 +1,88 @@
+"""Textual rendering of MIR, in the spirit of LLVM assembly (Figure 1.2)."""
+
+from __future__ import annotations
+
+from repro.mir.instructions import Instr, Opcode
+from repro.mir.module import Function, Module
+
+
+def _operand(op) -> str:
+    if op is None:
+        return "void"
+    kind, value = op
+    if kind == "i":
+        return str(value)
+    if kind == "r":
+        return f"%r{value}"
+    return repr(op)
+
+
+def _memref(ref) -> str:
+    kind, value = ref
+    if kind == "g":
+        return f"@g+{value}"
+    if kind == "f":
+        return f"%fp+{value}"
+    return f"[%r{value}]"
+
+
+def format_instr(instr: Instr) -> str:
+    op = instr.op
+    dest = f"%r{instr.dest} = " if instr.dest is not None else ""
+    meta = f"  ; {instr.var}@{instr.line}" if instr.var else ""
+    if op == Opcode.CONST:
+        return f"{dest}const {instr.a}"
+    if op == Opcode.BIN:
+        return f"{dest}{instr.a} {_operand(instr.b)}, {_operand(instr.c)}"
+    if op == Opcode.UN:
+        return f"{dest}{instr.a} {_operand(instr.b)}"
+    if op == Opcode.LOAD:
+        return f"{dest}load {_memref(instr.a)}{meta}"
+    if op == Opcode.STORE:
+        return f"store {_memref(instr.a)}, {_operand(instr.b)}{meta}"
+    if op == Opcode.ADDR:
+        return f"{dest}addr {instr.a} {instr.b} + {_operand(instr.c)}"
+    if op == Opcode.BR:
+        return f"br {_operand(instr.a)}, ->{instr.b}, ->{instr.c}"
+    if op == Opcode.JMP:
+        return f"jmp ->{instr.a}"
+    if op in (Opcode.CALL, Opcode.CALLB, Opcode.SPAWN):
+        args = ", ".join(_operand(a) for a in instr.b)
+        return f"{dest}{op} @{instr.a}({args})"
+    if op == Opcode.RET:
+        return f"ret {_operand(instr.a)}" if instr.a is not None else "ret"
+    if op in (Opcode.ENTER, Opcode.EXIT, Opcode.ITER):
+        return f"{op} region#{instr.a} (line {instr.line})"
+    if op in (Opcode.JOIN, Opcode.LOCK, Opcode.UNLOCK):
+        return f"{op} {_operand(instr.a)}"
+    return repr(instr)  # pragma: no cover
+
+
+def format_function(func: Function) -> str:
+    lines = [f"define {func.return_type} @{func.name}"
+             f"({', '.join(p.name for p in func.params)}) "
+             f"frame={func.frame_size} regs={func.n_regs} {{"]
+    if func.code:
+        starts = {idx: label for label, idx in func.block_starts.items()}
+        for i, instr in enumerate(func.code):
+            if i in starts:
+                lines.append(f"bb{starts[i]}:")
+            lines.append(f"  {i:4d}  {format_instr(instr)}")
+    else:
+        for block in func.blocks:
+            lines.append(f"bb{block.label}:")
+            for instr in block.instrs:
+                lines.append(f"        {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = [f"; module {module.name}  globals={module.global_size} words"]
+    for info, offset in module.global_layout():
+        size = f"[{info.array_size}]" if info.is_array else ""
+        parts.append(f"@{info.name}{size} = global {info.type_name} ; addr {offset}")
+    for func in module.functions.values():
+        parts.append("")
+        parts.append(format_function(func))
+    return "\n".join(parts)

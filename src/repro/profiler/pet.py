@@ -1,0 +1,176 @@
+"""The Program Execution Tree (§2.3.6).
+
+A PET represents one execution: function nodes (reached by "calling"
+edges), loop nodes and block nodes (reached by "containing" edges).  Block
+nodes are the leaf stretches of straight-line code between control
+constructs.  Each node carries the metrics the paper lists — number of
+executed (IR) memory instructions, number of data dependences, iteration
+counts for loops — which the ranking step (§4.3) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.runtime.events import (
+    EV_BGN,
+    EV_END,
+    EV_FENTRY,
+    EV_FEXIT,
+    EV_READ,
+    EV_WRITE,
+)
+
+
+@dataclass
+class PETNode:
+    """One node of the program execution tree."""
+
+    node_id: int
+    kind: str  # 'function' | 'loop' | 'branch' | 'block'
+    name: str
+    line: int = 0
+    children: list["PETNode"] = field(default_factory=list)
+    parent: Optional["PETNode"] = None
+    #: metrics
+    executions: int = 0
+    iterations: int = 0
+    memory_instructions: int = 0
+    lines_touched: set = field(default_factory=set)
+
+    def add_child(self, child: "PETNode") -> "PETNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterable["PETNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def subtree_memory_instructions(self) -> int:
+        return self.memory_instructions + sum(
+            c.subtree_memory_instructions for c in self.children
+        )
+
+    def edge_kind_to(self, child: "PETNode") -> str:
+        """'calling' into functions, 'containing' otherwise."""
+        return "calling" if child.kind == "function" else "containing"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PET {self.kind} {self.name} x{self.executions}>"
+
+
+class PETBuilder:
+    """Streams instrumentation events into a PET.
+
+    One static construct gets one node per *position in the tree* (multiple
+    executions are aggregated on the node — consistent with the profiler's
+    merged view of loops, §2.3.5).
+    """
+
+    def __init__(self) -> None:
+        self.root = PETNode(0, "root", "<execution>")
+        self._next_id = 1
+        #: per-thread stack of open nodes; thread 0 starts at root
+        self._stacks: dict[int, list[PETNode]] = {}
+        #: current block leaf per thread
+        self._blocks: dict[int, Optional[PETNode]] = {}
+
+    def _new_node(self, kind: str, name: str, line: int) -> PETNode:
+        node = PETNode(self._next_id, kind, name, line)
+        self._next_id += 1
+        return node
+
+    def _stack(self, tid: int) -> list[PETNode]:
+        stack = self._stacks.get(tid)
+        if stack is None:
+            stack = [self.root]
+            self._stacks[tid] = stack
+        return stack
+
+    def _enter(self, tid: int, kind: str, name: str, line: int) -> None:
+        stack = self._stack(tid)
+        top = stack[-1]
+        # reuse an existing child for the same static construct
+        for child in top.children:
+            if child.kind == kind and child.name == name and child.line == line:
+                node = child
+                break
+        else:
+            node = top.add_child(self._new_node(kind, name, line))
+        node.executions += 1
+        stack.append(node)
+        self._blocks[tid] = None
+
+    def _leave(self, tid: int, kind: str, iterations: int = 0) -> None:
+        stack = self._stack(tid)
+        if len(stack) > 1:
+            node = stack.pop()
+            node.iterations += iterations
+        self._blocks[tid] = None
+
+    def __call__(self, chunk: list) -> None:
+        self.process_chunk(chunk)
+
+    def process_chunk(self, chunk: Iterable[tuple]) -> None:
+        for ev in chunk:
+            kind = ev[0]
+            if kind == EV_READ or kind == EV_WRITE:
+                tid = ev[5]
+                block = self._blocks.get(tid)
+                if block is None:
+                    stack = self._stack(tid)
+                    top = stack[-1]
+                    for child in top.children:
+                        if child.kind == "block":
+                            block = child
+                            break
+                    else:
+                        block = top.add_child(
+                            self._new_node("block", f"block@{ev[2]}", ev[2])
+                        )
+                    self._blocks[tid] = block
+                block.memory_instructions += 1
+                block.lines_touched.add(ev[2])
+                # also attribute to enclosing constructs
+                for node in self._stack(tid)[1:]:
+                    node.memory_instructions += 1
+            elif kind == EV_BGN:
+                self._enter(ev[4], ev[2], f"{ev[2]}@{ev[3]}", ev[3])
+            elif kind == EV_END:
+                self._leave(ev[4], ev[2], ev[6])
+            elif kind == EV_FENTRY:
+                self._enter(ev[3], "function", ev[1], ev[2])
+            elif kind == EV_FEXIT:
+                self._leave(ev[2], "function")
+
+    # ------------------------------------------------------------------
+
+    def functions(self) -> list[PETNode]:
+        return [n for n in self.root.walk() if n.kind == "function"]
+
+    def loops(self) -> list[PETNode]:
+        return [n for n in self.root.walk() if n.kind == "loop"]
+
+    def format_tree(self, max_depth: int = 6) -> str:
+        """ASCII rendering (Fig. 2.6 style)."""
+        lines: list[str] = []
+
+        def visit(node: PETNode, depth: int) -> None:
+            if depth > max_depth:
+                return
+            indent = "  " * depth
+            metrics = f"exec={node.executions}"
+            if node.kind == "loop":
+                metrics += f" iters={node.iterations}"
+            if node.memory_instructions:
+                metrics += f" mem={node.memory_instructions}"
+            lines.append(f"{indent}{node.kind} {node.name} [{metrics}]")
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)

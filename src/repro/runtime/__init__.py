@@ -1,0 +1,56 @@
+"""Runtime substrate: the VM that executes MIR and emits the instrumentation
+event stream.
+
+The paper links instrumented binaries against ``libDiscoPoP``; here the
+interpreter *is* the instrumentation — it executes MIR over a real flat
+word-addressed memory (globals segment, per-thread stacks, a heap) and emits
+the same events LLVM instrumentation would: memory accesses with absolute
+addresses, control-region entry/exit/iteration, function entry/exit,
+allocation/lifetime, lock, and thread events.
+
+Events are delivered to a sink in *chunks* — the producer side of the
+paper's producer/consumer profiling pipeline (§2.3.3).
+"""
+
+from repro.runtime.events import (
+    EV_READ,
+    EV_WRITE,
+    EV_BGN,
+    EV_END,
+    EV_ITER,
+    EV_FENTRY,
+    EV_FEXIT,
+    EV_ALLOC,
+    EV_FREE,
+    EV_LOCK,
+    EV_UNLOCK,
+    EV_SPAWN,
+    EV_JOINED,
+    TraceSink,
+    CallbackSink,
+)
+from repro.runtime.memory import MemoryLayout
+from repro.runtime.interpreter import VM, VMError, run_module, run_source
+
+__all__ = [
+    "EV_READ",
+    "EV_WRITE",
+    "EV_BGN",
+    "EV_END",
+    "EV_ITER",
+    "EV_FENTRY",
+    "EV_FEXIT",
+    "EV_ALLOC",
+    "EV_FREE",
+    "EV_LOCK",
+    "EV_UNLOCK",
+    "EV_SPAWN",
+    "EV_JOINED",
+    "TraceSink",
+    "CallbackSink",
+    "MemoryLayout",
+    "VM",
+    "VMError",
+    "run_module",
+    "run_source",
+]

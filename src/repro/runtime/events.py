@@ -1,0 +1,97 @@
+"""Instrumentation event stream format.
+
+Events are plain tuples for speed; the first element is a one-character kind
+code.  Layouts::
+
+    (EV_READ,   addr, line, var, op_id, tid, ts, loop_sig, var_id)
+    (EV_WRITE,  addr, line, var, op_id, tid, ts, loop_sig, var_id)
+    (EV_BGN,    region_id, kind, line, tid, ts)
+    (EV_END,    region_id, kind, line, tid, ts, iterations)
+    (EV_ITER,   region_id, tid, ts)
+    (EV_FENTRY, func_name, line, tid, ts, call_line)
+    (EV_FEXIT,  func_name, tid, ts)
+    (EV_ALLOC,  base, size, tid, ts)          # stack frame or heap block
+    (EV_FREE,   base, size, tid, ts)          # lifetime end of a block
+    (EV_LOCK,   lock_id, tid, ts)             # lock acquired
+    (EV_UNLOCK, lock_id, tid, ts)
+    (EV_SPAWN,  child_tid, tid, ts)
+    (EV_JOINED, joined_tid, tid, ts)
+
+``loop_sig`` is an interned id of the thread's loop-context stack
+``((region_id, iteration), ...)`` at the time of the access — the dependence
+builder uses it to classify loop-carried dependences.  ``ts`` is a global
+logical timestamp (one tick per executed instruction) — the paper's
+"timestamp of every memory access" used to expose potential data races in
+multi-threaded targets (§2.3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+EV_READ = "R"
+EV_WRITE = "W"
+EV_BGN = "G"
+EV_END = "E"
+EV_ITER = "I"
+EV_FENTRY = "C"
+EV_FEXIT = "X"
+EV_ALLOC = "A"
+EV_FREE = "F"
+EV_LOCK = "L"
+EV_UNLOCK = "U"
+EV_SPAWN = "S"
+EV_JOINED = "J"
+
+MEMORY_KINDS = (EV_READ, EV_WRITE)
+
+
+class TraceSink:
+    """Sink that records the entire event stream in memory.
+
+    Suitable for the test programs and CU construction (which needs to walk
+    the trace); the profiler proper consumes chunks online instead.
+    """
+
+    def __init__(self) -> None:
+        self.chunks: list[list[tuple]] = []
+        self.n_events = 0
+
+    def __call__(self, chunk: list[tuple]) -> None:
+        self.chunks.append(chunk)
+        self.n_events += len(chunk)
+
+    def events(self) -> Iterator[tuple]:
+        for chunk in self.chunks:
+            yield from chunk
+
+    def memory_events(self) -> Iterator[tuple]:
+        for event in self.events():
+            if event[0] in MEMORY_KINDS:
+                yield event
+
+    def __len__(self) -> int:
+        return self.n_events
+
+
+class CallbackSink:
+    """Adapts a per-event callback into a chunk sink."""
+
+    def __init__(self, fn: Callable[[tuple], None]) -> None:
+        self.fn = fn
+
+    def __call__(self, chunk: Iterable[tuple]) -> None:
+        fn = self.fn
+        for event in chunk:
+            fn(event)
+
+
+def count_memory_accesses(sink: TraceSink) -> tuple[int, int]:
+    """(reads, writes) in a recorded trace."""
+    reads = writes = 0
+    for event in sink.events():
+        if event[0] == EV_READ:
+            reads += 1
+        elif event[0] == EV_WRITE:
+            writes += 1
+    return reads, writes

@@ -1,0 +1,169 @@
+"""Execution models turning measured work distributions into speedups."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.discovery.tasks import TaskGraph
+
+
+@dataclass
+class ExecutionModel:
+    """Machine/runtime parameters of the simulated multicore.
+
+    ``spawn_overhead`` — cost of creating/dispatching one task or thread,
+    in work units (one work unit = one profiled memory instruction).
+    ``barrier_overhead`` — per-thread cost of a join/barrier.
+    ``chunk_overhead`` — per-chunk scheduling cost in DOALL loops.
+    """
+
+    spawn_overhead: float = 40.0
+    barrier_overhead: float = 20.0
+    chunk_overhead: float = 10.0
+
+    def parallel_setup_cost(self, n_threads: int) -> float:
+        return self.spawn_overhead * n_threads + self.barrier_overhead * n_threads
+
+
+DEFAULT_MODEL = ExecutionModel()
+
+
+def simulate_doall(
+    iteration_costs: Sequence[float],
+    n_threads: int,
+    model: ExecutionModel = DEFAULT_MODEL,
+) -> float:
+    """Speedup of a DOALL loop with static chunking.
+
+    ``iteration_costs`` is the per-iteration work (uniform loops may pass
+    ``[cost] * iterations``).  Iterations are divided "as evenly as
+    possible" (§1.3.3's description of auto-parallelizers, which the
+    paper's suggestions target).
+    """
+    total = float(sum(iteration_costs))
+    if total <= 0 or not iteration_costs:
+        return 1.0
+    n = max(1, min(n_threads, len(iteration_costs)))
+    # static block partition
+    chunks = _block_partition(list(iteration_costs), n)
+    makespan = max(sum(c) for c in chunks) + model.parallel_setup_cost(n)
+    makespan += model.chunk_overhead * n
+    return total / makespan if makespan > 0 else 1.0
+
+
+def simulate_pipeline(
+    stage_costs: Sequence[float],
+    iterations: int,
+    n_threads: int,
+    model: ExecutionModel = DEFAULT_MODEL,
+) -> float:
+    """Speedup of a DOACROSS loop run as a pipeline over its stages.
+
+    Each iteration flows through the stages; with S stages on
+    min(S, threads) workers the steady-state rate is one iteration per
+    ``max_stage`` units: makespan = fill + drain + (iters-1)*bottleneck."""
+    stages = [c for c in stage_costs if c > 0]
+    if not stages or iterations <= 0:
+        return 1.0
+    workers = max(1, min(n_threads, len(stages)))
+    if workers < len(stages):
+        # fuse lightest adjacent stages until they fit the workers
+        stages = _fuse_stages(stages, workers)
+    total = sum(stage_costs) * iterations
+    bottleneck = max(stages)
+    fill = sum(stages)
+    makespan = fill + (iterations - 1) * bottleneck
+    makespan += model.parallel_setup_cost(workers)
+    return total / makespan if makespan > 0 else 1.0
+
+
+def simulate_task_graph(
+    graph: TaskGraph,
+    n_threads: int,
+    model: ExecutionModel = DEFAULT_MODEL,
+) -> float:
+    """Greedy list scheduling of a task graph on ``n_threads`` workers.
+
+    Returns the speedup over serial execution of the same total work.
+    """
+    g = graph.graph()
+    work = {n.node_id: float(max(1, n.work)) for n in graph.nodes}
+    total = sum(work.values())
+    if not work:
+        return 1.0
+    indegree = {node: g.in_degree(node) for node in g.nodes}
+    ready = [node for node, deg in indegree.items() if deg == 0]
+    # (finish_time, node) per busy worker
+    busy: list[tuple[float, int]] = []
+    idle = max(1, n_threads)
+    clock = 0.0
+    makespan = 0.0
+    pending = set(g.nodes)
+    while pending:
+        while ready and idle > 0:
+            node = ready.pop()
+            cost = work[node] + model.spawn_overhead
+            heapq.heappush(busy, (clock + cost, node))
+            idle -= 1
+        if not busy:  # pragma: no cover - graph must be a DAG
+            break
+        finish, node = heapq.heappop(busy)
+        clock = finish
+        makespan = max(makespan, finish)
+        idle += 1
+        pending.discard(node)
+        for succ in g.successors(node):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    makespan += model.barrier_overhead * min(n_threads, len(work))
+    return total / makespan if makespan > 0 else 1.0
+
+
+def whole_program_speedup(
+    region_fractions: Iterable[tuple[float, float]],
+) -> float:
+    """Amdahl composition: ``region_fractions`` is (coverage, local_speedup)
+    per parallelized region; the rest runs serially."""
+    serial = 1.0
+    parallel_time = 0.0
+    for coverage, local in region_fractions:
+        coverage = max(0.0, min(1.0, coverage))
+        serial -= coverage
+        parallel_time += coverage / max(1.0, local)
+    serial = max(0.0, serial)
+    denom = serial + parallel_time
+    return 1.0 / denom if denom > 0 else 1.0
+
+
+# ---------------------------------------------------------------------------
+
+
+def _block_partition(costs: list[float], n: int) -> list[list[float]]:
+    """Split costs into n contiguous blocks of near-equal element count
+    (static OpenMP-style scheduling)."""
+    length = len(costs)
+    out: list[list[float]] = []
+    base = length // n
+    extra = length % n
+    idx = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        out.append(costs[idx : idx + size])
+        idx += size
+    return out
+
+
+def _fuse_stages(stages: list[float], workers: int) -> list[float]:
+    """Merge adjacent pipeline stages until only ``workers`` remain,
+    greedily fusing the pair with the smallest combined cost."""
+    fused = list(stages)
+    while len(fused) > workers:
+        best_idx = min(
+            range(len(fused) - 1), key=lambda i: fused[i] + fused[i + 1]
+        )
+        fused[best_idx : best_idx + 2] = [fused[best_idx] + fused[best_idx + 1]]
+    return fused

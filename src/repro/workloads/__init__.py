@@ -1,0 +1,50 @@
+"""Benchmark workloads in MiniC.
+
+Simplified-but-real kernels mirroring the dependence structure of the
+paper's evaluation suites:
+
+* :mod:`repro.workloads.nas` — SNU NAS Parallel Benchmarks (BT CG EP FT IS
+  LU MG SP), the basis of Tables 4.1, 5.4 and the Chapter 2 performance
+  figures.
+* :mod:`repro.workloads.starbench` — Starbench (c-ray kmeans md5 ray-rot
+  rgbyuv rotate rot-cc streamcluster tinyjpeg bodytrack h264dec) for
+  Table 2.6/4.4 and the parallel-target figures.
+* :mod:`repro.workloads.bots` — Barcelona OpenMP Task Suite kernels
+  (fib nqueens sort fft strassen sparselu health alignment) for Table 4.6.
+* :mod:`repro.workloads.textbook` — the Table 4.2/4.3 textbook programs.
+* :mod:`repro.workloads.apps` — gzip/bzip2-like compressors (Table 4.5),
+  FaceDetection and libVorbis-like multimedia task graphs and PARSEC-style
+  kernels (Table 4.7, Fig. 4.11).
+* :mod:`repro.workloads.threaded` — pthread-style kernels with distinct
+  communication patterns (Fig. 2.10/2.11, Fig. 5.1).
+
+Every loop in a workload carries a ``// PAR`` or ``// SEQ`` marker encoding
+whether the *reference parallel implementation* parallelizes it — the
+ground truth the detection tables compare against.
+"""
+
+from repro.workloads.registry import (
+    REGISTRY,
+    Workload,
+    get_workload,
+    ground_truth_from_source,
+    suites,
+    workloads_in_suite,
+)
+
+# importing the suite modules populates the registry
+from repro.workloads import nas as _nas  # noqa: F401
+from repro.workloads import starbench as _starbench  # noqa: F401
+from repro.workloads import bots as _bots  # noqa: F401
+from repro.workloads import textbook as _textbook  # noqa: F401
+from repro.workloads import apps as _apps  # noqa: F401
+from repro.workloads import threaded as _threaded  # noqa: F401
+
+__all__ = [
+    "REGISTRY",
+    "Workload",
+    "get_workload",
+    "ground_truth_from_source",
+    "suites",
+    "workloads_in_suite",
+]

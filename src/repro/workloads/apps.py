@@ -1,0 +1,461 @@
+"""Application workloads: gzip/bzip2-like compressors (Table 4.5),
+FaceDetection and libVorbis-like multimedia programs and PARSEC-style
+kernels (Table 4.7, Fig. 4.10/4.11).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+
+def _src(template: str, **params) -> str:
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    return out.strip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# gzip-like — per-block LZ-style compression; the block loop is the paper's
+# "most important parallelization opportunity" for gzip (pigz does exactly
+# this); the running checksum chains blocks in the original.
+# ---------------------------------------------------------------------------
+
+_GZIP = """
+int input[@N@];
+int outlen[@NBLK@];
+int checksum;
+
+int compress_block(int base, int len) {
+  int out = 0;
+  int i = 0;
+  while (i < len) {                              // SEQ
+    int run = 1;
+    while (i + run < len && input[base + i + run] == input[base + i]) {  // SEQ
+      run++;
+    }
+    if (run > 2) {
+      out += 2;
+      i += run;
+    } else {
+      int match = 0;
+      int look = i - 8;
+      if (look < 0) { look = 0; }
+      for (int j = look; j < i; j++) {           // SEQ
+        if (input[base + j] == input[base + i]) { match = 1; }
+      }
+      out += 2 - match;
+      i++;
+    }
+  }
+  return out;
+}
+
+int main() {
+  int n = @N@;
+  int nblk = @NBLK@;
+  int bs = n / nblk;
+  for (int i = 0; i < n; i++) {                  // SEQ
+    input[i] = (i * 2654435761 % 97) % 7;
+  }
+  for (int b = 0; b < nblk; b++) {               // PAR
+    outlen[b] = compress_block(b * bs, bs);
+  }
+  checksum = 0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    checksum = (checksum + input[i] * 31) % 65521;
+  }
+  int total = 0;
+  for (int b = 0; b < nblk; b++) {               // PAR
+    total += outlen[b];
+  }
+  return total + checksum % 16;
+}
+"""
+
+
+def gzip_source(scale: int = 1) -> str:
+    return _src(_GZIP, N=960 * scale, NBLK=8)
+
+
+register(Workload("gzip-like", "apps", gzip_source,
+                  description="deflate-style per-block compression: the block "
+                              "loop is gzip's headline opportunity (Table 4.5)"))
+
+# ---------------------------------------------------------------------------
+# bzip2-like — per-block transform (counting-sort BWT stand-in + MTF + RLE)
+# ---------------------------------------------------------------------------
+
+_BZIP2 = """
+int input[@N@];
+int work[@N@];
+int mtf[16];
+int outlen[@NBLK@];
+
+int transform_block(int base, int len) {
+  for (int v = 0; v < 16; v++) {                 // SEQ
+    mtf[v] = v;
+  }
+  int freq0 = 0;
+  for (int i = 0; i < len; i++) {                // SEQ
+    if (input[base + i] == 0) { freq0++; }
+  }
+  int lo = 0;
+  int hi = freq0;
+  for (int i = 0; i < len; i++) {                // SEQ
+    if (input[base + i] == 0) {
+      work[base + lo] = input[base + i];
+      lo++;
+    } else {
+      work[base + hi] = input[base + i];
+      hi++;
+    }
+  }
+  int out = 0;
+  int prev = -1;
+  int run = 0;
+  for (int i = 0; i < len; i++) {                // SEQ
+    int sym = work[base + i];
+    int pos = 0;
+    for (int v = 0; v < 16; v++) {               // SEQ
+      if (mtf[v] == sym) { pos = v; }
+    }
+    for (int v = pos; v > 0; v--) {              // SEQ
+      mtf[v] = mtf[v - 1];
+    }
+    mtf[0] = sym;
+    if (pos == prev) {
+      run++;
+    } else {
+      out += 1 + run / 4;
+      run = 0;
+      prev = pos;
+    }
+  }
+  return out;
+}
+
+int main() {
+  int n = @N@;
+  int nblk = @NBLK@;
+  int bs = n / nblk;
+  for (int i = 0; i < n; i++) {                  // SEQ
+    input[i] = (i * 1103515245 % 1009) % 16;
+  }
+  for (int b = 0; b < nblk; b++) {               // PAR
+    outlen[b] = transform_block(b * bs, bs);
+  }
+  int total = 0;
+  for (int b = 0; b < nblk; b++) {               // PAR
+    total += outlen[b];
+  }
+  return total;
+}
+"""
+
+
+def bzip2_source(scale: int = 1) -> str:
+    return _src(_BZIP2, N=640 * scale, NBLK=8)
+
+
+register(Workload("bzip2-like", "apps", bzip2_source,
+                  description="bzip2-style per-block transform; the shared MTF "
+                              "table blocks naive block parallelism (the reference "
+                              "bzip2smp privatizes per-block state)"))
+
+# ---------------------------------------------------------------------------
+# FaceDetection — the Fig. 4.10 task graph: scale pyramid -> per-scale
+# detection -> merge, per frame.
+# ---------------------------------------------------------------------------
+
+_FACEDETECT = """
+int frame[@NPIX@];
+int scale1[@NPIX@];
+int scale2[@NPIX@];
+int scale3[@NPIX@];
+int hits1;
+int hits2;
+int hits3;
+int faces;
+
+void build_scale1(int n) {
+  for (int i = 0; i < n; i++) {                  // PAR
+    scale1[i] = frame[i];
+  }
+}
+
+void build_scale2(int n) {
+  for (int i = 0; i < n / 2; i++) {              // PAR
+    scale2[i] = (frame[2 * i] + frame[2 * i + 1]) / 2;
+  }
+}
+
+void build_scale3(int n) {
+  for (int i = 0; i < n / 4; i++) {              // PAR
+    scale3[i] = (frame[4 * i] + frame[4 * i + 2]) / 2;
+  }
+}
+
+int detect(int which, int len) {
+  int hits = 0;
+  for (int i = 4; i < len - 4; i++) {            // PAR
+    int a = 0;
+    int b = 0;
+    for (int w = 1; w <= 4; w++) {               // SEQ
+      if (which == 1) {
+        a += scale1[i - w] + scale1[i + w];
+        b += scale1[i] * 2;
+      }
+      if (which == 2) {
+        a += scale2[i - w] + scale2[i + w];
+        b += scale2[i] * 2;
+      }
+      if (which == 3) {
+        a += scale3[i - w] + scale3[i + w];
+        b += scale3[i] * 2;
+      }
+    }
+    if (b > a + 128) {
+      hits++;
+    }
+  }
+  return hits;
+}
+
+int main() {
+  int n = @NPIX@;
+  int nframes = @NFRAMES@;
+  faces = 0;
+  for (int f = 0; f < nframes; f++) {            // PAR
+    for (int i = 0; i < n; i++) {                // PAR
+      frame[i] = ((i + f * 7) * 37) % 256;
+    }
+    build_scale1(n);
+    build_scale2(n);
+    build_scale3(n);
+    hits1 = detect(1, n);
+    hits2 = detect(2, n / 2);
+    hits3 = detect(3, n / 4);
+    faces += hits1 + hits2 + hits3;
+  }
+  return faces;
+}
+"""
+
+
+def facedetect_source(scale: int = 1) -> str:
+    return _src(_FACEDETECT, NPIX=400 * scale, NFRAMES=3)
+
+
+register(Workload("facedetection", "apps", facedetect_source,
+                  description="FaceDetection (Fig. 4.10): per-frame pipeline of "
+                              "three independent scale builds + detections, "
+                              "merged into a face count"))
+
+# ---------------------------------------------------------------------------
+# libVorbis-like — per-frame decode: two channels independent, overlap-add
+# chains frames.
+# ---------------------------------------------------------------------------
+
+_VORBIS = """
+float packet[@FRAME@];
+float left[@FRAME@];
+float right[@FRAME@];
+float pcm[@FRAME@];
+float carry;
+
+void decode_channel(float chan[], int n, int which) {
+  for (int i = 0; i < n; i++) {                  // PAR
+    float acc = 0.0;
+    for (int k = 0; k < 4; k++) {                // SEQ
+      acc += packet[(i + k) % n] * cos(0.3927 * k * (i + which));
+    }
+    chan[i] = acc;
+  }
+}
+
+int main() {
+  int n = @FRAME@;
+  int frames = @NFRAMES@;
+  carry = 0.0;
+  float total = 0.0;
+  for (int f = 0; f < frames; f++) {             // SEQ
+    for (int i = 0; i < n; i++) {                // PAR
+      packet[i] = ((i * 29 + f * 13) % 100) * 0.01;
+    }
+    decode_channel(left, n, 0);
+    decode_channel(right, n, 1);
+    for (int i = 0; i < n; i++) {                // PAR
+      pcm[i] = (left[i] + right[i]) * 0.5;
+    }
+    pcm[0] = pcm[0] + carry;
+    carry = pcm[n - 1];
+    for (int i = 0; i < n; i++) {                // PAR
+      total += pcm[i] * pcm[i];
+    }
+  }
+  return __int(total * 10.0);
+}
+"""
+
+
+def vorbis_source(scale: int = 1) -> str:
+    return _src(_VORBIS, FRAME=96 * scale, NFRAMES=3)
+
+
+register(Workload("libvorbis-like", "apps", vorbis_source,
+                  description="audio decode: two channel decodes independent "
+                              "(MPMD), overlap-add carry chains frames"))
+
+# ---------------------------------------------------------------------------
+# PARSEC-style kernels for Table 4.7
+# ---------------------------------------------------------------------------
+
+_BLACKSCHOLES = """
+float sptprice[@N@];
+float strike[@N@];
+float otime[@N@];
+float prices[@N@];
+
+float cnd(float x) {
+  float l = abs(x);
+  float k = 1.0 / (1.0 + 0.2316419 * l);
+  float w = 1.0 - 0.3989423 * exp(0.0 - l * l / 2.0)
+    * (0.31938 * k - 0.35656 * k * k + 1.78148 * k * k * k);
+  if (x < 0.0) {
+    return 1.0 - w;
+  }
+  return w;
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    sptprice[i] = 90.0 + (i % 21);
+    strike[i] = 95.0 + (i % 13);
+    otime[i] = 0.25 + (i % 4) * 0.25;
+  }
+  for (int i = 0; i < n; i++) {                  // PAR
+    float d1 = (log(sptprice[i] / strike[i]) + 0.06 * otime[i])
+             / (0.2 * sqrt(otime[i]));
+    float d2 = d1 - 0.2 * sqrt(otime[i]);
+    prices[i] = sptprice[i] * cnd(d1)
+              - strike[i] * exp(0.0 - 0.06 * otime[i]) * cnd(d2);
+  }
+  float total = 0.0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    total += prices[i];
+  }
+  return __int(total);
+}
+"""
+
+
+def blackscholes_source(scale: int = 1) -> str:
+    return _src(_BLACKSCHOLES, N=300 * scale)
+
+
+register(Workload("blackscholes", "apps", blackscholes_source,
+                  description="PARSEC blackscholes: independent option pricing"))
+
+
+_DEDUP = """
+int stream[@N@];
+int hashes[@NCHUNK@];
+int sizes[@NCHUNK@];
+int seen[@TABLE@];
+int outbytes;
+
+int main() {
+  int n = @N@;
+  int nchunk = @NCHUNK@;
+  int cs = n / nchunk;
+  for (int i = 0; i < n; i++) {                  // SEQ
+    stream[i] = (i * 2654435761 % 251) % 64;
+  }
+  for (int c = 0; c < nchunk; c++) {             // PAR
+    int h = 0;
+    for (int i = 0; i < cs; i++) {               // SEQ
+      h = (h * 33 + stream[c * cs + i]) % @TABLE@;
+    }
+    hashes[c] = h;
+    int bytes = 0;
+    for (int i = 1; i < cs; i++) {               // SEQ
+      if (stream[c * cs + i] != stream[c * cs + i - 1]) { bytes++; }
+    }
+    sizes[c] = bytes + 1;
+  }
+  outbytes = 0;
+  for (int c = 0; c < nchunk; c++) {             // SEQ
+    if (seen[hashes[c]] == 0) {
+      seen[hashes[c]] = 1;
+      outbytes += sizes[c];
+    } else {
+      outbytes += 1;
+    }
+  }
+  return outbytes;
+}
+"""
+
+
+def dedup_source(scale: int = 1) -> str:
+    return _src(_DEDUP, N=960 * scale, NCHUNK=12, TABLE=64)
+
+
+register(Workload("dedup", "apps", dedup_source,
+                  description="PARSEC dedup pipeline: parallel chunk hash+compress "
+                              "stages, sequential duplicate-elimination stage"))
+
+
+_FERRET = """
+float db[@DBN@];
+float queries[@QN@];
+int results[@NQ@];
+
+int main() {
+  int nq = @NQ@;
+  int qdim = @QDIM@;
+  int ndb = @NDB@;
+  for (int i = 0; i < ndb * qdim; i++) {         // PAR
+    db[i] = ((i * 41) % 100) * 0.01;
+  }
+  for (int i = 0; i < nq * qdim; i++) {          // PAR
+    queries[i] = ((i * 59) % 100) * 0.01;
+  }
+  for (int q = 0; q < nq; q++) {                 // PAR
+    float best = 1000000.0;
+    int bestidx = 0;
+    for (int d = 0; d < ndb; d++) {              // SEQ
+      float dist = 0.0;
+      for (int k = 0; k < qdim; k++) {           // SEQ
+        float diff = queries[q * qdim + k] - db[d * qdim + k];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        bestidx = d;
+      }
+    }
+    results[q] = bestidx;
+  }
+  int check = 0;
+  for (int q = 0; q < nq; q++) {                 // PAR
+    check += results[q];
+  }
+  return check;
+}
+"""
+
+
+def ferret_source(scale: int = 1) -> str:
+    nq, qdim, ndb = 10 * scale, 8, 40
+    return _src(_FERRET, NQ=nq, QDIM=qdim, NDB=ndb, DBN=ndb * qdim,
+                QN=nq * qdim)
+
+
+register(Workload("ferret", "apps", ferret_source,
+                  description="PARSEC ferret: per-query similarity search stages"))
+
+APP_NAMES = ("gzip-like", "bzip2-like", "facedetection", "libvorbis-like",
+             "blackscholes", "dedup", "ferret")

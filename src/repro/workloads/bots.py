@@ -1,0 +1,460 @@
+"""Barcelona OpenMP Task Suite (BOTS) kernels in MiniC.
+
+Recursive task-parallel programs: the Table 4.6 ground truth is which
+recursive call sites form independent SPMD tasks.  ``task_truth`` maps the
+hot function to the expected independence verdict.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+
+def _src(template: str, **params) -> str:
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    return out.strip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# fib — the canonical two independent recursive calls (Fig. 4.3)
+# ---------------------------------------------------------------------------
+
+_FIB = """
+int fib(int n) {
+  if (n < 2) {
+    return n;
+  }
+  int x = fib(n - 1);
+  int y = fib(n - 2);
+  return x + y;
+}
+
+int main() {
+  return fib(@N@);
+}
+"""
+
+
+def fib_source(scale: int = 1) -> str:
+    return _src(_FIB, N=11 + scale)
+
+
+register(Workload("fib", "bots", fib_source,
+                  task_truth={"fib": True},
+                  description="nth Fibonacci number: two independent recursive calls"))
+
+# ---------------------------------------------------------------------------
+# nqueens — per-column candidate recursion (Fig. 4.2 loop)
+# ---------------------------------------------------------------------------
+
+_NQUEENS = """
+int board[@N@];
+int solutions;
+
+int ok(int row, int col) {
+  for (int i = 0; i < row; i++) {                // SEQ
+    if (board[i] == col) { return 0; }
+    if (board[i] - i == col - row) { return 0; }
+    if (board[i] + i == col + row) { return 0; }
+  }
+  return 1;
+}
+
+void solve(int row, int n) {
+  if (row == n) {
+    solutions += 1;
+    return;
+  }
+  for (int col = 0; col < n; col++) {            // PAR
+    if (ok(row, col)) {
+      board[row] = col;
+      solve(row + 1, n);
+    }
+  }
+}
+
+int main() {
+  solve(0, @N@);
+  return solutions;
+}
+"""
+
+
+def nqueens_source(scale: int = 1) -> str:
+    return _src(_NQUEENS, N=6 if scale <= 1 else 7)
+
+
+register(Workload("nqueens", "bots", nqueens_source,
+                  task_truth={"solve": True},
+                  description="n-queens: candidate placements explored as tasks; "
+                              "the shared board makes tasks need a private copy "
+                              "(reference copies the board per task)"))
+
+# ---------------------------------------------------------------------------
+# sort — recursive mergesort: two independent sorts + a merge
+# ---------------------------------------------------------------------------
+
+_SORT = """
+int data[@N@];
+int tmp[@N@];
+
+void merge(int lo, int mid, int hi) {
+  int i = lo;
+  int j = mid;
+  int k = lo;
+  while (i < mid && j < hi) {                    // SEQ
+    if (data[i] <= data[j]) {
+      tmp[k] = data[i];
+      i++;
+    } else {
+      tmp[k] = data[j];
+      j++;
+    }
+    k++;
+  }
+  while (i < mid) {                              // SEQ
+    tmp[k] = data[i];
+    i++; k++;
+  }
+  while (j < hi) {                               // SEQ
+    tmp[k] = data[j];
+    j++; k++;
+  }
+  for (int m = lo; m < hi; m++) {                // PAR
+    data[m] = tmp[m];
+  }
+}
+
+void sort(int lo, int hi) {
+  if (hi - lo < 2) { return; }
+  int mid = (lo + hi) / 2;
+  sort(lo, mid);
+  sort(mid, hi);
+  merge(lo, mid, hi);
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    data[i] = (i * 1103515 + 12345) % 1000;
+  }
+  sort(0, n);
+  int inversions = 0;
+  for (int i = 1; i < n; i++) {                  // PAR
+    if (data[i - 1] > data[i]) { inversions++; }
+  }
+  return inversions;
+}
+"""
+
+
+def sort_source(scale: int = 1) -> str:
+    return _src(_SORT, N=128 * scale)
+
+
+register(Workload("sort", "bots", sort_source,
+                  task_truth={"sort": True},
+                  description="mergesort: the two recursive sorts are independent "
+                              "(disjoint halves), merge joins them"))
+
+# ---------------------------------------------------------------------------
+# fft — recursive halves + twiddle combine (Fig. 4.9)
+# ---------------------------------------------------------------------------
+
+_FFTB = """
+float re[@N@];
+float im[@N@];
+float tr[@N@];
+float ti[@N@];
+
+void fft_rec(int base, int n, int stride) {
+  if (n == 1) { return; }
+  int half = n / 2;
+  fft_rec(base, half, stride * 2);
+  fft_rec(base + stride, half, stride * 2);
+  for (int k = 0; k < half; k++) {               // PAR
+    int even = base + k * 2 * stride;
+    int odd = base + k * 2 * stride + stride;
+    float c = cos(6.28318 * k / n);
+    float s = sin(6.28318 * k / n);
+    float twr = c * re[odd] - s * im[odd];
+    float twi = s * re[odd] + c * im[odd];
+    tr[base + k * stride] = re[even] + twr;
+    ti[base + k * stride] = im[even] + twi;
+    tr[base + (k + half) * stride] = re[even] - twr;
+    ti[base + (k + half) * stride] = im[even] - twi;
+  }
+  for (int k = 0; k < n; k++) {                  // PAR
+    re[base + k * stride] = tr[base + k * stride];
+    im[base + k * stride] = ti[base + k * stride];
+  }
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    re[i] = (i * 37 % 100) * 0.01;
+    im[i] = 0.0;
+  }
+  fft_rec(0, n, 1);
+  float mag = 0.0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    mag += re[i] * re[i] + im[i] * im[i];
+  }
+  return __int(mag * 10.0);
+}
+"""
+
+
+def fft_source(scale: int = 1) -> str:
+    return _src(_FFTB, N=32 * scale)
+
+
+register(Workload("fft", "bots", fft_source,
+                  task_truth={"fft_rec": True},
+                  description="recursive FFT: even/odd halves independent, "
+                              "twiddle combine afterwards (Fig. 4.9)"))
+
+# ---------------------------------------------------------------------------
+# strassen-like — independent quadrant multiplies
+# ---------------------------------------------------------------------------
+
+_STRASSEN = """
+float a[@NN@];
+float b[@NN@];
+float c[@NN@];
+
+void mult_block(int ai, int aj, int bi, int bj, int ci, int cj, int size, int n) {
+  for (int i = 0; i < size; i++) {               // PAR
+    for (int j = 0; j < size; j++) {             // PAR
+      float acc = 0.0;
+      for (int k = 0; k < size; k++) {           // SEQ
+        acc += a[(ai + i) * n + aj + k] * b[(bi + k) * n + bj + j];
+      }
+      c[(ci + i) * n + cj + j] += acc;
+    }
+  }
+}
+
+void strassen(int size, int n) {
+  int half = size / 2;
+  mult_block(0, 0, 0, 0, 0, 0, half, n);
+  mult_block(0, half, half, 0, 0, 0, half, n);
+  mult_block(0, 0, 0, half, 0, half, half, n);
+  mult_block(0, half, half, half, 0, half, half, n);
+  mult_block(half, 0, 0, 0, half, 0, half, n);
+  mult_block(half, half, half, 0, half, 0, half, n);
+  mult_block(half, 0, 0, half, half, half, half, n);
+  mult_block(half, half, half, half, half, half, half, n);
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    a[i] = (i % 7) * 0.25;
+    b[i] = (i % 5) * 0.5;
+  }
+  strassen(n, n);
+  float check = 0.0;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    check += c[i];
+  }
+  return __int(check);
+}
+"""
+
+
+def strassen_source(scale: int = 1) -> str:
+    return _src(_STRASSEN, N=8 * scale, NN=64 * scale * scale)
+
+
+register(Workload("strassen", "bots", strassen_source,
+                  task_truth={"strassen": False},
+                  description="blocked matrix multiply: quadrant multiplies; pairs "
+                              "updating the same C quadrant conflict (taskable only "
+                              "with accumulation ordering)"))
+
+# ---------------------------------------------------------------------------
+# sparselu-like — block LU task graph
+# ---------------------------------------------------------------------------
+
+_SPARSELU = """
+float blocks[@TOTAL@];
+
+void lu0(int blk, int bs) {
+  for (int k = 0; k < bs; k++) {                 // SEQ
+    for (int i = k + 1; i < bs; i++) {           // PAR
+      blocks[blk + i * bs + k] = blocks[blk + i * bs + k]
+        / (blocks[blk + k * bs + k] + 0.0001);
+      for (int j = k + 1; j < bs; j++) {         // SEQ
+        blocks[blk + i * bs + j] = blocks[blk + i * bs + j]
+          - blocks[blk + i * bs + k] * blocks[blk + k * bs + j];
+      }
+    }
+  }
+}
+
+void bmod(int row_blk, int col_blk, int inner_blk, int bs) {
+  for (int i = 0; i < bs; i++) {                 // PAR
+    for (int j = 0; j < bs; j++) {               // PAR
+      float acc = 0.0;
+      for (int k = 0; k < bs; k++) {             // SEQ
+        acc += blocks[row_blk + i * bs + k] * blocks[col_blk + k * bs + j];
+      }
+      blocks[inner_blk + i * bs + j] -= acc;
+    }
+  }
+}
+
+int main() {
+  int nb = @NB@;
+  int bs = @BS@;
+  int bsz = bs * bs;
+  for (int i = 0; i < nb * nb * bsz; i++) {      // PAR
+    blocks[i] = ((i * 13) % 11 + 1) * 0.3;
+  }
+  for (int k = 0; k < nb; k++) {                 // SEQ
+    lu0((k * nb + k) * bsz, bs);
+    for (int j = k + 1; j < nb; j++) {           // PAR
+      bmod((k * nb + k) * bsz, (k * nb + j) * bsz, (k * nb + j) * bsz, bs);
+    }
+    for (int i = k + 1; i < nb; i++) {           // PAR
+      bmod((i * nb + k) * bsz, (k * nb + k) * bsz, (i * nb + k) * bsz, bs);
+    }
+    for (int i = k + 1; i < nb; i++) {           // PAR
+      for (int j = k + 1; j < nb; j++) {         // PAR
+        bmod((i * nb + k) * bsz, (k * nb + j) * bsz, (i * nb + j) * bsz, bs);
+      }
+    }
+  }
+  float check = 0.0;
+  for (int i = 0; i < nb * nb * bsz; i++) {      // PAR
+    check += blocks[i];
+  }
+  return __int(check) % 1000000007;
+}
+"""
+
+
+def sparselu_source(scale: int = 1) -> str:
+    nb, bs = 3, 4 * scale
+    return _src(_SPARSELU, NB=nb, BS=bs, TOTAL=nb * nb * bs * bs)
+
+
+register(Workload("sparselu", "bots", sparselu_source,
+                  task_truth={"bmod": True},
+                  description="blocked sparse LU: the bmod updates of distinct "
+                              "blocks within one k step are independent tasks"))
+
+# ---------------------------------------------------------------------------
+# health-like — recursive village simulation
+# ---------------------------------------------------------------------------
+
+_HEALTH = """
+int patients[@NV@];
+int treated[@NV@];
+
+int simulate(int village, int depth, int nv) {
+  int left_load = 0;
+  int right_load = 0;
+  if (depth > 0) {
+    int left = village * 2 + 1;
+    int right = village * 2 + 2;
+    if (left < nv) {
+      left_load = simulate(left, depth - 1, nv);
+    }
+    if (right < nv) {
+      right_load = simulate(right, depth - 1, nv);
+    }
+  }
+  int local = patients[village] % 7;
+  for (int i = 0; i < local; i++) {              // SEQ
+    treated[village] += 1;
+  }
+  return left_load + right_load + local;
+}
+
+int main() {
+  int nv = @NV@;
+  for (int v = 0; v < nv; v++) {                 // PAR
+    patients[v] = (v * 2654435761) % 97;
+  }
+  int total = simulate(0, @DEPTH@, nv);
+  return total;
+}
+"""
+
+
+def health_source(scale: int = 1) -> str:
+    depth = 5 + (scale - 1)
+    return _src(_HEALTH, NV=2 ** (depth + 1), DEPTH=depth)
+
+
+register(Workload("health", "bots", health_source,
+                  task_truth={"simulate": True},
+                  description="health: recursion over a village tree; sibling "
+                              "subtrees touch disjoint state"))
+
+# ---------------------------------------------------------------------------
+# alignment-like — independent pairwise alignments
+# ---------------------------------------------------------------------------
+
+_ALIGNMENT = """
+int seqs[@TOTAL@];
+int scores[@NPAIR@];
+
+int align(int s1, int s2, int len) {
+  int score = 0;
+  int gap = 0;
+  for (int i = 0; i < len; i++) {                // SEQ
+    int a = seqs[s1 * len + i];
+    int b = seqs[s2 * len + i];
+    if (a == b) {
+      score += 2 + gap;
+      gap = 0;
+    } else {
+      score -= 1;
+      gap = 1;
+    }
+  }
+  return score;
+}
+
+int main() {
+  int ns = @NS@;
+  int len = @LEN@;
+  for (int i = 0; i < ns * len; i++) {           // PAR
+    seqs[i] = (i * 131071) % 4;
+  }
+  int pair = 0;
+  for (int i = 0; i < ns; i++) {                 // PAR
+    for (int j = i + 1; j < ns; j++) {           // PAR
+      scores[pair] = align(i, j, len);
+      pair++;
+    }
+  }
+  int best = -1000000;
+  for (int p = 0; p < pair; p++) {               // PAR
+    if (scores[p] > best) { best = scores[p]; }
+  }
+  return best;
+}
+"""
+
+
+def alignment_source(scale: int = 1) -> str:
+    ns = 8 + 2 * scale
+    return _src(_ALIGNMENT, NS=ns, LEN=24, TOTAL=ns * 24,
+                NPAIR=ns * (ns - 1) // 2)
+
+
+register(Workload("alignment", "bots", alignment_source,
+                  task_truth={"align": True},
+                  description="pairwise sequence alignment: each pair independent "
+                              "(the pair counter is an induction the reference "
+                              "precomputes)"))
+
+BOTS_NAMES = ("fib", "nqueens", "sort", "fft", "strassen", "sparselu",
+              "health", "alignment")

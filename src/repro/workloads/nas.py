@@ -1,0 +1,624 @@
+"""NAS Parallel Benchmark kernels (SNU C versions), simplified to MiniC.
+
+Each kernel keeps the dependence structure that matters for parallelism
+discovery — stencils, reductions, recurrences, wavefront sweeps, RNG
+chains — at laptop scale.  ``// PAR`` / ``// SEQ`` markers encode whether
+the official OpenMP version parallelizes the loop (the Table 4.1 ground
+truth).  Deliberate structure notes:
+
+* EP's and IS's main loops chain a *global LCG seed* — the reference
+  versions parallelize them via seed skip-ahead / private histograms, i.e.
+  transformations a dependence profiler cannot see.  They are the realistic
+  recall misses behind the paper's 92.5 %.
+* LU's SSOR sweeps are wavefronts: carried dependences in the sweep loops,
+  parallel inner loops.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+
+def _src(template: str, **params) -> str:
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    return out.strip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# BT — block tridiagonal solver (structure: rhs stencil + line sweeps)
+# ---------------------------------------------------------------------------
+
+_BT = """
+float u[@NN@];
+float rhs[@NN@];
+float lhs[@NN@];
+
+void compute_rhs(int n) {
+  for (int i = 1; i < n - 1; i++) {              // PAR
+    for (int j = 1; j < n - 1; j++) {            // PAR
+      rhs[i * n + j] = u[(i - 1) * n + j] + u[(i + 1) * n + j]
+                     + u[i * n + j - 1] + u[i * n + j + 1]
+                     - 4.0 * u[i * n + j];
+    }
+  }
+}
+
+void x_solve(int n) {
+  for (int j = 1; j < n - 1; j++) {              // PAR
+    for (int i = 1; i < n - 1; i++) {            // SEQ
+      lhs[i * n + j] = rhs[i * n + j] - 0.25 * lhs[(i - 1) * n + j];
+    }
+  }
+}
+
+void y_solve(int n) {
+  for (int i = 1; i < n - 1; i++) {              // PAR
+    for (int j = 1; j < n - 1; j++) {            // SEQ
+      lhs[i * n + j] = lhs[i * n + j] - 0.25 * lhs[i * n + j - 1];
+    }
+  }
+}
+
+void add(int n) {
+  for (int i = 1; i < n - 1; i++) {              // PAR
+    for (int j = 1; j < n - 1; j++) {            // PAR
+      u[i * n + j] = u[i * n + j] + 0.05 * lhs[i * n + j];
+    }
+  }
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    for (int j = 0; j < n; j++) {                // PAR
+      u[i * n + j] = (i * 7 + j * 3) % 13 * 0.1;
+    }
+  }
+  for (int step = 0; step < @STEPS@; step++) {   // SEQ
+    compute_rhs(n);
+    x_solve(n);
+    y_solve(n);
+    add(n);
+  }
+  float checksum = 0.0;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    checksum += u[i];
+  }
+  return __int(checksum * 100.0);
+}
+"""
+
+
+def bt_source(scale: int = 1) -> str:
+    n = 12 + 4 * scale
+    return _src(_BT, N=n, NN=n * n, STEPS=2 + scale)
+
+
+register(
+    Workload(
+        "BT",
+        "nas",
+        bt_source,
+        description="block tridiagonal solver: stencil rhs + x/y line sweeps",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# CG — conjugate gradient (sparse matvec + dot products)
+# ---------------------------------------------------------------------------
+
+_CG = """
+int rowstr[@NP1@];
+int colidx[@NNZ@];
+float a[@NNZ@];
+float x[@N@];
+float z[@N@];
+float p[@N@];
+float q[@N@];
+float r[@N@];
+
+float conj_grad(int n) {
+  float rho = 0.0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    q[i] = 0.0;
+    z[i] = 0.0;
+    r[i] = x[i];
+    p[i] = r[i];
+  }
+  for (int i = 0; i < n; i++) {                  // PAR
+    rho += r[i] * r[i];
+  }
+  for (int it = 0; it < @CGITS@; it++) {         // SEQ
+    for (int i = 0; i < n; i++) {                // PAR
+      float suml = 0.0;
+      for (int k = rowstr[i]; k < rowstr[i + 1]; k++) {  // SEQ
+        suml += a[k] * p[colidx[k]];
+      }
+      q[i] = suml;
+    }
+    float d = 0.0;
+    for (int i = 0; i < n; i++) {                // PAR
+      d += p[i] * q[i];
+    }
+    float alpha = rho / (d + 0.000001);
+    float rho0 = rho;
+    rho = 0.0;
+    for (int i = 0; i < n; i++) {                // PAR
+      z[i] = z[i] + alpha * p[i];
+      r[i] = r[i] - alpha * q[i];
+    }
+    for (int i = 0; i < n; i++) {                // PAR
+      rho += r[i] * r[i];
+    }
+    float beta = rho / (rho0 + 0.000001);
+    for (int i = 0; i < n; i++) {                // PAR
+      p[i] = r[i] + beta * p[i];
+    }
+  }
+  float norm = 0.0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    norm += z[i] * z[i];
+  }
+  return norm;
+}
+
+int main() {
+  int n = @N@;
+  int nz_per_row = @NZROW@;
+  int pos = 0;
+  for (int i = 0; i < n; i++) {                  // SEQ
+    rowstr[i] = pos;
+    for (int k = 0; k < nz_per_row; k++) {       // SEQ
+      colidx[pos] = (i * 3 + k * 7) % n;
+      a[pos] = ((i + k) % 9 + 1) * 0.125;
+      pos++;
+    }
+  }
+  rowstr[n] = pos;
+  for (int i = 0; i < n; i++) {                  // PAR
+    x[i] = 1.0 / (i + 1);
+  }
+  float norm = conj_grad(n);
+  return __int(norm * 1000.0);
+}
+"""
+
+
+def cg_source(scale: int = 1) -> str:
+    n = 60 * scale
+    nz_row = 5
+    return _src(_CG, N=n, NP1=n + 1, NNZ=n * nz_row, NZROW=nz_row, CGITS=4)
+
+
+register(
+    Workload(
+        "CG",
+        "nas",
+        cg_source,
+        description="conjugate gradient: sparse matvec, dot-product reductions",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# EP — embarrassingly parallel (gaussian pairs; global LCG seed chain)
+# ---------------------------------------------------------------------------
+
+_EP = """
+int seed;
+float sx;
+float sy;
+int counts[10];
+
+int lcg() {
+  seed = (seed * 1103515 + 12345) % 2147483647;
+  return seed;
+}
+
+int main() {
+  seed = 271828183;
+  int n = @N@;
+  for (int k = 0; k < n; k++) {                  // PAR
+    float x1 = (lcg() % 10000) * 0.0002 - 1.0;
+    float x2 = (lcg() % 10000) * 0.0002 - 1.0;
+    float t = x1 * x1 + x2 * x2;
+    if (t <= 1.0) {
+      float scale2 = sqrt(abs(2.0 * log(t + 0.000001) / (t + 0.000001)));
+      float gx = x1 * scale2;
+      float gy = x2 * scale2;
+      sx += gx;
+      sy += gy;
+      int bin = __int(abs(gx));
+      if (bin > 9) { bin = 9; }
+      counts[bin] += 1;
+    }
+  }
+  int total = 0;
+  for (int i = 0; i < 10; i++) {                 // PAR
+    total += counts[i];
+  }
+  return total;
+}
+"""
+
+
+def ep_source(scale: int = 1) -> str:
+    return _src(_EP, N=600 * scale)
+
+
+register(
+    Workload(
+        "EP",
+        "nas",
+        ep_source,
+        description=(
+            "embarrassingly parallel gaussian pairs; reference parallelizes "
+            "the main loop via seed skip-ahead, which dependence profiling "
+            "cannot see (intended recall miss)"
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# FT — FFT kernel (evolve stencil + butterfly passes + checksum)
+# ---------------------------------------------------------------------------
+
+_FT = """
+float ur[@NN@];
+float ui[@NN@];
+float dummy;
+
+float randf(int k) {
+  return ((k * 1103515 + 12345) % 10000) * 0.0001;
+}
+
+void evolve(int n, int t) {
+  for (int i = 0; i < n; i++) {                  // PAR
+    for (int j = 0; j < n; j++) {                // PAR
+      float factor = exp(0.0 - 0.000001 * t * (i * i + j * j));
+      ur[i * n + j] = ur[i * n + j] * factor;
+      ui[i * n + j] = ui[i * n + j] * factor;
+    }
+  }
+}
+
+void butterfly(int n, int stride) {
+  for (int row = 0; row < n; row++) {            // PAR
+    int half = stride / 2;
+    for (int k = 0; k < half; k++) {             // PAR
+      int i0 = row * n + k;
+      int i1 = row * n + k + half;
+      float tr = ur[i1];
+      float ti = ui[i1];
+      ur[i1] = ur[i0] - tr;
+      ui[i1] = ui[i0] - ti;
+      ur[i0] = ur[i0] + tr;
+      ui[i0] = ui[i0] + ti;
+    }
+  }
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    for (int j = 0; j < n; j++) {                // PAR
+      dummy = randf(i * n + j);
+      ur[i * n + j] = dummy;
+      dummy = randf(i * n + j + 1);
+      ui[i * n + j] = dummy;
+    }
+  }
+  for (int t = 1; t <= @STEPS@; t++) {           // SEQ
+    evolve(n, t);
+    int stride = n;
+    while (stride >= 2) {                        // SEQ
+      butterfly(n, stride);
+      stride = stride / 2;
+    }
+  }
+  float sumr = 0.0;
+  float sumi = 0.0;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    sumr += ur[i];
+    sumi += ui[i];
+  }
+  return __int(sumr * 10.0 + sumi);
+}
+"""
+
+
+def ft_source(scale: int = 1) -> str:
+    n = 16 * scale
+    return _src(_FT, N=n, NN=n * n, STEPS=2)
+
+
+register(
+    Workload(
+        "FT",
+        "nas",
+        ft_source,
+        description=(
+            "FFT: evolve stencil (Fig. 4.1 DOALL nest), butterfly passes, "
+            "and the §2.5.2 dummy-variable WAW pattern (Fig. 2.14)"
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# IS — integer sort (counting sort; shared histogram)
+# ---------------------------------------------------------------------------
+
+_IS = """
+int keys[@N@];
+int count[@MAXK@];
+int ranks[@N@];
+int seed;
+
+int main() {
+  int n = @N@;
+  int maxk = @MAXK@;
+  seed = 314159265;
+  for (int i = 0; i < n; i++) {                  // SEQ
+    seed = (seed * 1103515 + 12345) % 2147483647;
+    keys[i] = seed % maxk;
+  }
+  for (int i = 0; i < n; i++) {                  // PAR
+    count[keys[i]] += 1;
+  }
+  for (int k = 1; k < maxk; k++) {               // SEQ
+    count[k] = count[k] + count[k - 1];
+  }
+  for (int i = 0; i < n; i++) {                  // PAR
+    ranks[i] = count[keys[i]] - 1;
+    count[keys[i]] -= 1;
+  }
+  int check = 0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    check += ranks[i] * (i % 7);
+  }
+  return check;
+}
+"""
+
+
+def is_source(scale: int = 1) -> str:
+    return _src(_IS, N=800 * scale, MAXK=64)
+
+
+register(
+    Workload(
+        "IS",
+        "nas",
+        is_source,
+        description=(
+            "integer (counting) sort: key-gen LCG chain, histogram the "
+            "reference parallelizes with private bins (intended miss), "
+            "sequential prefix sum"
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# LU — SSOR wavefront sweeps
+# ---------------------------------------------------------------------------
+
+_LU = """
+float v[@NN@];
+float rsd[@NN@];
+
+void jac(int n) {
+  for (int i = 1; i < n - 1; i++) {              // PAR
+    for (int j = 1; j < n - 1; j++) {            // PAR
+      rsd[i * n + j] = 0.25 * (v[(i - 1) * n + j] + v[(i + 1) * n + j]
+                     + v[i * n + j - 1] + v[i * n + j + 1]);
+    }
+  }
+}
+
+void blts(int n) {
+  for (int i = 1; i < n - 1; i++) {              // SEQ
+    for (int j = 1; j < n - 1; j++) {            // SEQ
+      rsd[i * n + j] = rsd[i * n + j]
+                     - 0.5 * (rsd[(i - 1) * n + j] + rsd[i * n + j - 1]);
+    }
+  }
+}
+
+void buts(int n) {
+  for (int i = n - 2; i >= 1; i--) {             // SEQ
+    for (int j = n - 2; j >= 1; j--) {           // SEQ
+      rsd[i * n + j] = rsd[i * n + j]
+                     - 0.5 * (rsd[(i + 1) * n + j] + rsd[i * n + j + 1]);
+    }
+  }
+}
+
+float l2norm(int n) {
+  float total = 0.0;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    total += rsd[i] * rsd[i];
+  }
+  return sqrt(total / (n * n));
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    for (int j = 0; j < n; j++) {                // PAR
+      v[i * n + j] = ((i * 5 + j * 11) % 17) * 0.06;
+    }
+  }
+  float norm = 0.0;
+  for (int step = 0; step < @STEPS@; step++) {   // SEQ
+    jac(n);
+    blts(n);
+    buts(n);
+    for (int i = 0; i < n * n; i++) {            // PAR
+      v[i] = v[i] + 0.1 * rsd[i];
+    }
+    norm = l2norm(n);
+  }
+  return __int(norm * 100000.0);
+}
+"""
+
+
+def lu_source(scale: int = 1) -> str:
+    n = 14 + 4 * scale
+    return _src(_LU, N=n, NN=n * n, STEPS=2 + scale)
+
+
+register(
+    Workload(
+        "LU",
+        "nas",
+        lu_source,
+        description="SSOR: jacobian stencil (parallel), lower/upper wavefront sweeps (sequential)",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# MG — multigrid V-cycle (smooth / restrict / prolong)
+# ---------------------------------------------------------------------------
+
+_MG = """
+float grid[@NN@];
+float resid[@NN@];
+float coarse[@CC@];
+
+void smooth(int n) {
+  for (int i = 1; i < n - 1; i++) {              // PAR
+    for (int j = 1; j < n - 1; j++) {            // PAR
+      resid[i * n + j] = grid[i * n + j]
+        + 0.125 * (grid[(i - 1) * n + j] + grid[(i + 1) * n + j]
+                 + grid[i * n + j - 1] + grid[i * n + j + 1]
+                 - 4.0 * grid[i * n + j]);
+    }
+  }
+  for (int i = 1; i < n - 1; i++) {              // PAR
+    for (int j = 1; j < n - 1; j++) {            // PAR
+      grid[i * n + j] = resid[i * n + j];
+    }
+  }
+}
+
+void restrictg(int n, int c) {
+  for (int i = 1; i < c - 1; i++) {              // PAR
+    for (int j = 1; j < c - 1; j++) {            // PAR
+      coarse[i * c + j] = 0.25 * (grid[(2 * i) * n + 2 * j]
+        + grid[(2 * i + 1) * n + 2 * j]
+        + grid[(2 * i) * n + 2 * j + 1]
+        + grid[(2 * i + 1) * n + 2 * j + 1]);
+    }
+  }
+}
+
+void prolong(int n, int c) {
+  for (int i = 1; i < c - 1; i++) {              // PAR
+    for (int j = 1; j < c - 1; j++) {            // PAR
+      grid[(2 * i) * n + 2 * j] = grid[(2 * i) * n + 2 * j]
+                                + 0.5 * coarse[i * c + j];
+    }
+  }
+}
+
+int main() {
+  int n = @N@;
+  int c = @C@;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    grid[i] = (i % 23) * 0.04;
+  }
+  for (int cycle = 0; cycle < @CYCLES@; cycle++) {  // SEQ
+    smooth(n);
+    restrictg(n, c);
+    prolong(n, c);
+  }
+  float norm = 0.0;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    norm += grid[i] * grid[i];
+  }
+  return __int(sqrt(norm) * 100.0);
+}
+"""
+
+
+def mg_source(scale: int = 1) -> str:
+    n = 16 * scale
+    c = n // 2
+    return _src(_MG, N=n, NN=n * n, C=c, CC=c * c, CYCLES=2)
+
+
+register(
+    Workload(
+        "MG",
+        "nas",
+        mg_source,
+        description="multigrid: smoothing stencil, restriction, prolongation",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# SP — scalar pentadiagonal (rhs + forward/backward line substitutions)
+# ---------------------------------------------------------------------------
+
+_SP = """
+float u[@NN@];
+float rhs[@NN@];
+
+void compute_rhs(int n) {
+  for (int i = 1; i < n - 1; i++) {              // PAR
+    for (int j = 1; j < n - 1; j++) {            // PAR
+      rhs[i * n + j] = u[(i - 1) * n + j] - 2.0 * u[i * n + j]
+                     + u[(i + 1) * n + j];
+    }
+  }
+}
+
+void x_substitute(int n) {
+  for (int j = 1; j < n - 1; j++) {              // PAR
+    for (int i = 2; i < n - 1; i++) {            // SEQ
+      rhs[i * n + j] = rhs[i * n + j] - 0.2 * rhs[(i - 1) * n + j];
+    }
+    for (int i = n - 3; i >= 1; i--) {           // SEQ
+      rhs[i * n + j] = rhs[i * n + j] - 0.2 * rhs[(i + 1) * n + j];
+    }
+  }
+}
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    u[i] = (i % 19) * 0.05;
+  }
+  for (int step = 0; step < @STEPS@; step++) {   // SEQ
+    compute_rhs(n);
+    x_substitute(n);
+    for (int i = 0; i < n * n; i++) {            // PAR
+      u[i] = u[i] + 0.02 * rhs[i];
+    }
+  }
+  float checksum = 0.0;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    checksum += u[i];
+  }
+  return __int(checksum * 10.0);
+}
+"""
+
+
+def sp_source(scale: int = 1) -> str:
+    n = 14 + 4 * scale
+    return _src(_SP, N=n, NN=n * n, STEPS=2 + scale)
+
+
+register(
+    Workload(
+        "SP",
+        "nas",
+        sp_source,
+        description="scalar pentadiagonal: rhs stencil + per-line forward/backward substitution",
+    )
+)
+
+NAS_NAMES = ("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP")

@@ -1,0 +1,75 @@
+"""Workload registry and ground-truth extraction."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: loop-header marker: `for (...) {   // PAR` or `// SEQ`
+_MARKER_RE = re.compile(r"//\s*(PAR|SEQ)\b")
+_LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+
+
+def ground_truth_from_source(source: str) -> dict[int, bool]:
+    """Extract {loop header line -> parallel-in-reference?} from markers.
+
+    Keeping the truth inline (``// PAR`` / ``// SEQ`` on the loop header
+    line) keeps line numbers and annotations in sync by construction.
+    """
+    truth: dict[int, bool] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        marker = _MARKER_RE.search(text)
+        if marker and _LOOP_RE.search(text):
+            truth[lineno] = marker.group(1) == "PAR"
+    return truth
+
+
+@dataclass
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    suite: str
+    source_fn: Callable[[int], str]
+    description: str = ""
+    entry: str = "main"
+    threaded: bool = False
+    #: expected return value per scale (None = don't check)
+    expected: Optional[dict[int, int]] = None
+    #: expected task groups for Table 4.6-style checks:
+    #: {function_name: should_be_independent}
+    task_truth: dict[str, bool] = field(default_factory=dict)
+
+    def source(self, scale: int = 1) -> str:
+        return self.source_fn(scale)
+
+    def ground_truth(self, scale: int = 1) -> dict[int, bool]:
+        return ground_truth_from_source(self.source(scale))
+
+    def compile(self, scale: int = 1):
+        from repro.mir.lowering import compile_source
+
+        return compile_source(self.source(scale), name=self.name)
+
+
+REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    return REGISTRY[name]
+
+
+def suites() -> list[str]:
+    return sorted({w.suite for w in REGISTRY.values()})
+
+
+def workloads_in_suite(suite: str) -> list[Workload]:
+    return [w for w in REGISTRY.values() if w.suite == suite]

@@ -1,0 +1,600 @@
+"""Starbench parallel benchmark suite kernels in MiniC.
+
+Image processing (rgbyuv, rotate, rot-cc — the Fig. 4.7/4.8 and Fig. 3.6
+subjects), raytracing (c-ray, ray-rot), crypto (md5), machine learning
+(kmeans, streamcluster), media decoding (tinyjpeg, h264dec) and vision
+(bodytrack).  Markers encode the pthread reference parallelization.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+
+def _src(template: str, **params) -> str:
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    return out.strip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# c-ray — raytracer: fully independent pixels
+# ---------------------------------------------------------------------------
+
+_CRAY = """
+float img[@NPIX@];
+float sph_x[@NSPH@];
+float sph_y[@NSPH@];
+float sph_r[@NSPH@];
+
+float shade(float px, float py, int nsph) {
+  float best = 1000000.0;
+  for (int s = 0; s < nsph; s++) {               // SEQ
+    float dx = px - sph_x[s];
+    float dy = py - sph_y[s];
+    float d2 = dx * dx + dy * dy;
+    float r2 = sph_r[s] * sph_r[s];
+    if (d2 < r2) {
+      float depth = sqrt(r2 - d2);
+      if (depth < best) {
+        best = depth;
+      }
+    }
+  }
+  if (best > 999999.0) { return 0.0; }
+  return 1.0 / (1.0 + best);
+}
+
+int main() {
+  int w = @W@;
+  int h = @H@;
+  int nsph = @NSPH@;
+  for (int s = 0; s < nsph; s++) {               // PAR
+    sph_x[s] = (s * 37 % 100) * 0.01;
+    sph_y[s] = (s * 53 % 100) * 0.01;
+    sph_r[s] = 0.05 + (s % 5) * 0.03;
+  }
+  for (int y = 0; y < h; y++) {                  // PAR
+    for (int x = 0; x < w; x++) {                // PAR
+      float px = x * 1.0 / w;
+      float py = y * 1.0 / h;
+      img[y * w + x] = shade(px, py, nsph);
+    }
+  }
+  float total = 0.0;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    total += img[i];
+  }
+  return __int(total * 100.0);
+}
+"""
+
+
+def cray_source(scale: int = 1) -> str:
+    w = 24 * scale
+    h = 16 * scale
+    return _src(_CRAY, W=w, H=h, NPIX=w * h, NSPH=8)
+
+
+register(Workload("c-ray", "starbench", cray_source,
+                  description="raytracer: independent pixels, per-pixel sphere tests"))
+
+# ---------------------------------------------------------------------------
+# kmeans — assignment parallel, centroid accumulation privatised in reference
+# ---------------------------------------------------------------------------
+
+_KMEANS = """
+float px[@NPT@];
+float py[@NPT@];
+int assign[@NPT@];
+float cx[@K@];
+float cy[@K@];
+float sumx[@K@];
+float sumy[@K@];
+int   cnt[@K@];
+
+int main() {
+  int n = @NPT@;
+  int k = @K@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    px[i] = (i * 29 % 1000) * 0.001;
+    py[i] = (i * 67 % 1000) * 0.001;
+  }
+  for (int c = 0; c < k; c++) {                  // PAR
+    cx[c] = (c * 131 % 1000) * 0.001;
+    cy[c] = (c * 197 % 1000) * 0.001;
+  }
+  for (int iter = 0; iter < @ITERS@; iter++) {   // SEQ
+    for (int i = 0; i < n; i++) {                // PAR
+      float bestd = 1000000.0;
+      int bestc = 0;
+      for (int c = 0; c < k; c++) {              // SEQ
+        float dx = px[i] - cx[c];
+        float dy = py[i] - cy[c];
+        float d = dx * dx + dy * dy;
+        if (d < bestd) {
+          bestd = d;
+          bestc = c;
+        }
+      }
+      assign[i] = bestc;
+    }
+    for (int c = 0; c < k; c++) {                // PAR
+      sumx[c] = 0.0;
+      sumy[c] = 0.0;
+      cnt[c] = 0;
+    }
+    for (int i = 0; i < n; i++) {                // PAR
+      int c = assign[i];
+      sumx[c] += px[i];
+      sumy[c] += py[i];
+      cnt[c] += 1;
+    }
+    for (int c = 0; c < k; c++) {                // PAR
+      if (cnt[c] > 0) {
+        cx[c] = sumx[c] / cnt[c];
+        cy[c] = sumy[c] / cnt[c];
+      }
+    }
+  }
+  int code = 0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    code += assign[i];
+  }
+  return code;
+}
+"""
+
+
+def kmeans_source(scale: int = 1) -> str:
+    return _src(_KMEANS, NPT=300 * scale, K=8, ITERS=3)
+
+
+register(Workload("kmeans", "starbench", kmeans_source,
+                  description="k-means: parallel assignment; accumulation loop "
+                              "privatised in the reference (intended miss)"))
+
+# ---------------------------------------------------------------------------
+# md5 — independent buffers, strictly chained rounds inside
+# ---------------------------------------------------------------------------
+
+_MD5 = """
+int digests[@NBUF@];
+
+int rotl(int x, int r) {
+  return ((x << r) | (x >> (32 - r))) & 2147483647;
+}
+
+int md5ish(int seed, int len) {
+  int a = 1732584193;
+  int b = 4023233417 % 2147483647;
+  int c = 2562383102 % 2147483647;
+  int d = 271733878;
+  int w = seed;
+  for (int i = 0; i < len; i++) {                // SEQ
+    w = (w * 69069 + 1) % 2147483647;
+    int f = (b & c) | ((~b) & d);
+    int tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl((a + f + w) % 2147483647, (i % 4) * 5 + 3);
+    b = b & 2147483647;
+    a = tmp;
+  }
+  return (a ^ b ^ c ^ d) & 2147483647;
+}
+
+int main() {
+  int nbuf = @NBUF@;
+  for (int i = 0; i < nbuf; i++) {               // PAR
+    digests[i] = md5ish(i * 2654435761 % 2147483647, @LEN@);
+  }
+  int check = 0;
+  for (int i = 0; i < nbuf; i++) {               // PAR
+    check = (check + digests[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def md5_source(scale: int = 1) -> str:
+    return _src(_MD5, NBUF=24 * scale, LEN=60)
+
+
+register(Workload("md5", "starbench", md5_source,
+                  description="md5: independent buffers outside, chained rounds inside"))
+
+# ---------------------------------------------------------------------------
+# rgbyuv — the Fig. 4.7 target loop: per-pixel colour conversion
+# ---------------------------------------------------------------------------
+
+_RGBYUV = """
+int r[@NPIX@];
+int g[@NPIX@];
+int b[@NPIX@];
+int yy[@NPIX@];
+int u[@NPIX@];
+int v[@NPIX@];
+
+int main() {
+  int n = @NPIX@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    r[i] = (i * 7) % 256;
+    g[i] = (i * 13) % 256;
+    b[i] = (i * 29) % 256;
+  }
+  for (int i = 0; i < n; i++) {                  // PAR
+    int ri = r[i];
+    int gi = g[i];
+    int bi = b[i];
+    yy[i] = (66 * ri + 129 * gi + 25 * bi + 4224) / 256;
+    u[i] = (74 * bi - 25 * ri - 49 * gi + 32896) / 256;
+    v[i] = (112 * ri - 94 * gi - 18 * bi + 32896) / 256;
+  }
+  int check = 0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    check = (check + yy[i] + u[i] + v[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def rgbyuv_source(scale: int = 1) -> str:
+    return _src(_RGBYUV, NPIX=700 * scale)
+
+
+register(Workload("rgbyuv", "starbench", rgbyuv_source,
+                  description="RGB->YUV conversion: the Fig. 4.7/4.8 DOALL loop "
+                              "with three independent output streams"))
+
+# ---------------------------------------------------------------------------
+# rotate — pixel remap
+# ---------------------------------------------------------------------------
+
+_ROTATE = """
+int src[@NPIX@];
+int dst[@NPIX@];
+
+int main() {
+  int w = @W@;
+  int h = @H@;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    src[i] = (i * 17) % 256;
+  }
+  for (int y = 0; y < h; y++) {                  // PAR
+    for (int x = 0; x < w; x++) {                // PAR
+      dst[x * h + (h - 1 - y)] = src[y * w + x];
+    }
+  }
+  int check = 0;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    check = (check + dst[i] * (i % 3 + 1)) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def rotate_source(scale: int = 1) -> str:
+    w, h = 30 * scale, 20 * scale
+    return _src(_ROTATE, W=w, H=h, NPIX=w * h)
+
+
+register(Workload("rotate", "starbench", rotate_source,
+                  description="90-degree image rotation: independent pixel remap"))
+
+# ---------------------------------------------------------------------------
+# rot-cc — rotate + colour conversion (the Fig. 3.6 two-phase CU graph)
+# ---------------------------------------------------------------------------
+
+_ROTCC = """
+int src[@NPIX@];
+int mid[@NPIX@];
+int outp[@NPIX@];
+
+void rotate_phase(int w, int h) {
+  for (int y = 0; y < h; y++) {                  // PAR
+    for (int x = 0; x < w; x++) {                // PAR
+      mid[x * h + (h - 1 - y)] = src[y * w + x];
+    }
+  }
+}
+
+void convert_phase(int n) {
+  for (int i = 0; i < n; i++) {                  // PAR
+    int p = mid[i];
+    outp[i] = (66 * p + 129 * p + 25 * p + 4224) / 256;
+  }
+}
+
+int main() {
+  int w = @W@;
+  int h = @H@;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    src[i] = (i * 23) % 256;
+  }
+  rotate_phase(w, h);
+  convert_phase(w * h);
+  int check = 0;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    check = (check + outp[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def rotcc_source(scale: int = 1) -> str:
+    w, h = 28 * scale, 20 * scale
+    return _src(_ROTCC, W=w, H=h, NPIX=w * h)
+
+
+register(Workload("rot-cc", "starbench", rotcc_source,
+                  description="rotate + colour-convert: the Fig. 3.6 phased CU graph"))
+
+# ---------------------------------------------------------------------------
+# ray-rot — c-ray followed by rotate
+# ---------------------------------------------------------------------------
+
+_RAYROT = """
+float img[@NPIX@];
+float rot[@NPIX@];
+
+float trace(float px, float py) {
+  float dx = px - 0.5;
+  float dy = py - 0.5;
+  float d2 = dx * dx + dy * dy;
+  if (d2 < 0.16) {
+    return sqrt(0.16 - d2);
+  }
+  return 0.0;
+}
+
+int main() {
+  int w = @W@;
+  int h = @H@;
+  for (int y = 0; y < h; y++) {                  // PAR
+    for (int x = 0; x < w; x++) {                // PAR
+      img[y * w + x] = trace(x * 1.0 / w, y * 1.0 / h);
+    }
+  }
+  for (int y = 0; y < h; y++) {                  // PAR
+    for (int x = 0; x < w; x++) {                // PAR
+      rot[x * h + (h - 1 - y)] = img[y * w + x];
+    }
+  }
+  float total = 0.0;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    total += rot[i];
+  }
+  return __int(total * 100.0);
+}
+"""
+
+
+def rayrot_source(scale: int = 1) -> str:
+    w, h = 26 * scale, 18 * scale
+    return _src(_RAYROT, W=w, H=h, NPIX=w * h)
+
+
+register(Workload("ray-rot", "starbench", rayrot_source,
+                  description="raytrace phase followed by rotate phase"))
+
+# ---------------------------------------------------------------------------
+# streamcluster — distance sums with reduction
+# ---------------------------------------------------------------------------
+
+_STREAMCLUSTER = """
+float ptx[@NPT@];
+float pty[@NPT@];
+float centerx[@KC@];
+float centery[@KC@];
+float cost;
+
+int main() {
+  int n = @NPT@;
+  int k = @KC@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    ptx[i] = (i * 41 % 1000) * 0.001;
+    pty[i] = (i * 83 % 1000) * 0.001;
+  }
+  for (int c = 0; c < k; c++) {                  // PAR
+    centerx[c] = (c * 173 % 1000) * 0.001;
+    centery[c] = (c * 311 % 1000) * 0.001;
+  }
+  for (int round = 0; round < @ROUNDS@; round++) {  // SEQ
+    cost = 0.0;
+    for (int i = 0; i < n; i++) {                // PAR
+      float best = 1000000.0;
+      for (int c = 0; c < k; c++) {              // SEQ
+        float dx = ptx[i] - centerx[c];
+        float dy = pty[i] - centery[c];
+        float d = dx * dx + dy * dy;
+        if (d < best) { best = d; }
+      }
+      cost += best;
+    }
+    for (int c = 0; c < k; c++) {                // PAR
+      centerx[c] = centerx[c] * 0.9;
+      centery[c] = centery[c] * 0.9;
+    }
+  }
+  return __int(cost * 1000.0);
+}
+"""
+
+
+def streamcluster_source(scale: int = 1) -> str:
+    return _src(_STREAMCLUSTER, NPT=250 * scale, KC=8, ROUNDS=3)
+
+
+register(Workload("streamcluster", "starbench", streamcluster_source,
+                  description="online clustering: per-point nearest-centre cost reduction"))
+
+# ---------------------------------------------------------------------------
+# tinyjpeg — sequential entropy decode feeding parallel per-block IDCT
+# ---------------------------------------------------------------------------
+
+_TINYJPEG = """
+int bitstream[@NBITS@];
+int coeffs[@NCOEF@];
+int pixels[@NCOEF@];
+int bitpos;
+
+int decode_block(int b) {
+  int dc = 0;
+  for (int i = 0; i < 16; i++) {                 // SEQ
+    dc = dc + bitstream[bitpos];
+    bitpos++;
+  }
+  coeffs[b * 16] = dc % 256;
+  for (int i = 1; i < 16; i++) {                 // SEQ
+    coeffs[b * 16 + i] = (dc * i) % 128;
+  }
+  return dc;
+}
+
+void idct_block(int b) {
+  for (int i = 0; i < 16; i++) {                 // SEQ
+    int acc = 0;
+    for (int j = 0; j < 16; j++) {               // SEQ
+      acc = acc + coeffs[b * 16 + j] * ((i * j) % 7 + 1);
+    }
+    pixels[b * 16 + i] = acc % 256;
+  }
+}
+
+int main() {
+  int nblocks = @NBLK@;
+  for (int i = 0; i < @NBITS@; i++) {            // PAR
+    bitstream[i] = (i * 31) % 17;
+  }
+  bitpos = 0;
+  for (int b = 0; b < nblocks; b++) {            // SEQ
+    decode_block(b);
+  }
+  for (int b = 0; b < nblocks; b++) {            // PAR
+    idct_block(b);
+  }
+  int check = 0;
+  for (int i = 0; i < nblocks * 16; i++) {       // PAR
+    check = (check + pixels[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def tinyjpeg_source(scale: int = 1) -> str:
+    nblk = 16 * scale
+    return _src(_TINYJPEG, NBLK=nblk, NCOEF=nblk * 16, NBITS=nblk * 16 + 16)
+
+
+register(Workload("tinyjpeg", "starbench", tinyjpeg_source,
+                  description="JPEG-style: sequential entropy decode (bit cursor), "
+                              "parallel per-block IDCT"))
+
+# ---------------------------------------------------------------------------
+# bodytrack — per-particle likelihood + sequential resampling scan
+# ---------------------------------------------------------------------------
+
+_BODYTRACK = """
+float particles[@NP@];
+float weights[@NP@];
+float cumulative[@NP@];
+float observation;
+
+int main() {
+  int n = @NP@;
+  observation = 0.4;
+  for (int i = 0; i < n; i++) {                  // PAR
+    particles[i] = (i * 61 % 1000) * 0.001;
+  }
+  for (int step = 0; step < @STEPS@; step++) {   // SEQ
+    for (int i = 0; i < n; i++) {                // PAR
+      float diff = particles[i] - observation;
+      weights[i] = exp(0.0 - diff * diff * 8.0);
+    }
+    cumulative[0] = weights[0];
+    for (int i = 1; i < n; i++) {                // SEQ
+      cumulative[i] = cumulative[i - 1] + weights[i];
+    }
+    float total = cumulative[n - 1];
+    for (int i = 0; i < n; i++) {                // PAR
+      float target = (i + 0.5) * total / n;
+      int lo = 0;
+      while (cumulative[lo] < target && lo < n - 1) {  // SEQ
+        lo++;
+      }
+      particles[i] = particles[lo] * 0.99 + 0.001;
+    }
+    observation = observation * 0.98 + 0.01;
+  }
+  float s = 0.0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    s += particles[i];
+  }
+  return __int(s * 1000.0);
+}
+"""
+
+
+def bodytrack_source(scale: int = 1) -> str:
+    return _src(_BODYTRACK, NP=150 * scale, STEPS=3)
+
+
+register(Workload("bodytrack", "starbench", bodytrack_source,
+                  description="particle filter: parallel likelihoods, sequential "
+                              "cumulative-sum resampling"))
+
+# ---------------------------------------------------------------------------
+# h264dec — macroblock intra prediction: wavefront dependences
+# ---------------------------------------------------------------------------
+
+_H264 = """
+int mb[@NMB@];
+int residual[@NMB@];
+
+int main() {
+  int w = @MBW@;
+  int h = @MBH@;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    residual[i] = (i * 19) % 32;
+  }
+  for (int y = 0; y < h; y++) {                  // SEQ
+    for (int x = 0; x < w; x++) {                // SEQ
+      int pred = 128;
+      if (x > 0 && y > 0) {
+        pred = (mb[y * w + x - 1] + mb[(y - 1) * w + x]) / 2;
+      } else {
+        if (x > 0) { pred = mb[y * w + x - 1]; }
+        if (y > 0) { pred = mb[(y - 1) * w + x]; }
+      }
+      mb[y * w + x] = (pred + residual[y * w + x]) % 256;
+    }
+  }
+  int check = 0;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    check = (check + mb[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def h264_source(scale: int = 1) -> str:
+    w, h = 20 * scale, 14 * scale
+    return _src(_H264, MBW=w, MBH=h, NMB=w * h)
+
+
+register(Workload("h264dec", "starbench", h264_source,
+                  description="H.264-style intra prediction: left/top macroblock "
+                              "wavefront dependences"))
+
+STARBENCH_NAMES = (
+    "c-ray", "kmeans", "md5", "ray-rot", "rgbyuv", "rotate", "rot-cc",
+    "streamcluster", "tinyjpeg", "bodytrack", "h264dec",
+)

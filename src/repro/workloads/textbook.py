@@ -1,0 +1,306 @@
+"""Textbook programs (Tables 4.2 / 4.3).
+
+The classic parallel-programming course examples the paper parallelizes
+following the framework's suggestions, reporting four-thread speedups.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+
+def _src(template: str, **params) -> str:
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    return out.strip() + "\n"
+
+
+_MATMUL = """
+float a[@NN@];
+float b[@NN@];
+float c[@NN@];
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    a[i] = (i % 13) * 0.25;
+    b[i] = (i % 7) * 0.5;
+  }
+  for (int i = 0; i < n; i++) {                  // PAR
+    for (int j = 0; j < n; j++) {                // PAR
+      float acc = 0.0;
+      for (int k = 0; k < n; k++) {              // SEQ
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  float check = 0.0;
+  for (int i = 0; i < n * n; i++) {              // PAR
+    check += c[i];
+  }
+  return __int(check);
+}
+"""
+
+
+def matmul_source(scale: int = 1) -> str:
+    n = 16 * scale
+    return _src(_MATMUL, N=n, NN=n * n)
+
+
+register(Workload("matmul", "textbook", matmul_source,
+                  description="dense matrix multiply"))
+
+
+_HISTOGRAM = """
+int image[@N@];
+int hist[@BINS@];
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    image[i] = (i * 2654435761) % @BINS@;
+  }
+  for (int i = 0; i < n; i++) {                  // PAR
+    hist[image[i]] += 1;
+  }
+  int peak = 0;
+  for (int b = 0; b < @BINS@; b++) {             // PAR
+    if (hist[b] > peak) { peak = hist[b]; }
+  }
+  return peak;
+}
+"""
+
+
+def histogram_source(scale: int = 1) -> str:
+    return _src(_HISTOGRAM, N=2000 * scale, BINS=32)
+
+
+register(Workload("histogram", "textbook", histogram_source,
+                  description="histogram visualization (Table 4.3): the fill loop "
+                              "carries bin conflicts the reference resolves with "
+                              "private histograms"))
+
+
+_MANDELBROT = """
+int counts[@NPIX@];
+
+int main() {
+  int w = @W@;
+  int h = @H@;
+  int maxiter = @MAXITER@;
+  for (int py = 0; py < h; py++) {               // PAR
+    for (int px = 0; px < w; px++) {             // PAR
+      float x0 = px * 3.0 / w - 2.0;
+      float y0 = py * 2.0 / h - 1.0;
+      float x = 0.0;
+      float y = 0.0;
+      int iter = 0;
+      while (x * x + y * y <= 4.0 && iter < maxiter) {  // SEQ
+        float xt = x * x - y * y + x0;
+        y = 2.0 * x * y + y0;
+        x = xt;
+        iter++;
+      }
+      counts[py * w + px] = iter;
+    }
+  }
+  int total = 0;
+  for (int i = 0; i < w * h; i++) {              // PAR
+    total += counts[i];
+  }
+  return total;
+}
+"""
+
+
+def mandelbrot_source(scale: int = 1) -> str:
+    return _src(_MANDELBROT, W=24 * scale, H=16 * scale,
+                NPIX=24 * scale * 16 * scale, MAXITER=32)
+
+
+register(Workload("mandelbrot", "textbook", mandelbrot_source,
+                  description="mandelbrot set: independent pixels, imbalanced "
+                              "per-pixel work"))
+
+
+_NBODY = """
+float posx[@N@];
+float posy[@N@];
+float velx[@N@];
+float vely[@N@];
+float fx[@N@];
+float fy[@N@];
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    posx[i] = (i * 37 % 100) * 0.01;
+    posy[i] = (i * 73 % 100) * 0.01;
+  }
+  for (int step = 0; step < @STEPS@; step++) {   // SEQ
+    for (int i = 0; i < n; i++) {                // PAR
+      float ax = 0.0;
+      float ay = 0.0;
+      for (int j = 0; j < n; j++) {              // SEQ
+        if (i != j) {
+          float dx = posx[j] - posx[i];
+          float dy = posy[j] - posy[i];
+          float inv = 1.0 / (dx * dx + dy * dy + 0.01);
+          ax += dx * inv;
+          ay += dy * inv;
+        }
+      }
+      fx[i] = ax;
+      fy[i] = ay;
+    }
+    for (int i = 0; i < n; i++) {                // PAR
+      velx[i] += fx[i] * 0.001;
+      vely[i] += fy[i] * 0.001;
+      posx[i] += velx[i];
+      posy[i] += vely[i];
+    }
+  }
+  float check = 0.0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    check += posx[i] + posy[i];
+  }
+  return __int(check * 100.0);
+}
+"""
+
+
+def nbody_source(scale: int = 1) -> str:
+    return _src(_NBODY, N=40 * scale, STEPS=2)
+
+
+register(Workload("nbody", "textbook", nbody_source,
+                  description="n-body step: all-pairs forces then integration"))
+
+
+_DOTPROD = """
+float a[@N@];
+float b[@N@];
+
+int main() {
+  int n = @N@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    a[i] = (i % 17) * 0.3;
+    b[i] = (i % 11) * 0.7;
+  }
+  float dot = 0.0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    dot += a[i] * b[i];
+  }
+  return __int(dot);
+}
+"""
+
+
+def dotprod_source(scale: int = 1) -> str:
+    return _src(_DOTPROD, N=2500 * scale)
+
+
+register(Workload("dotprod", "textbook", dotprod_source,
+                  description="dot product: the textbook reduction"))
+
+
+_PRIMES = """
+int main() {
+  int limit = @LIMIT@;
+  int count = 0;
+  for (int n = 2; n < limit; n++) {              // PAR
+    int prime = 1;
+    for (int d = 2; d * d <= n; d++) {           // SEQ
+      if (n % d == 0) {
+        prime = 0;
+        break;
+      }
+    }
+    count += prime;
+  }
+  return count;
+}
+"""
+
+
+def primes_source(scale: int = 1) -> str:
+    return _src(_PRIMES, LIMIT=600 * scale)
+
+
+register(Workload("primes", "textbook", primes_source,
+                  description="trial-division prime counting: reduction over an "
+                              "imbalanced DOALL loop"))
+
+
+_PI = """
+int seed;
+
+int main() {
+  int n = @N@;
+  seed = 987654321;
+  int inside = 0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    seed = (seed * 1103515 + 12345) % 2147483647;
+    float x = (seed % 10000) * 0.0001;
+    seed = (seed * 1103515 + 12345) % 2147483647;
+    float y = (seed % 10000) * 0.0001;
+    if (x * x + y * y <= 1.0) {
+      inside += 1;
+    }
+  }
+  return inside * 4000 / n;
+}
+"""
+
+
+def pi_source(scale: int = 1) -> str:
+    return _src(_PI, N=1500 * scale)
+
+
+register(Workload("pi", "textbook", pi_source,
+                  description="Monte-Carlo pi: the RNG chain blocks naive DOALL; "
+                              "the reference uses per-thread seeds (intended miss)"))
+
+
+_STRINGSEARCH = """
+int text[@N@];
+int pattern[@M@];
+
+int main() {
+  int n = @N@;
+  int m = @M@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    text[i] = (i * 31) % 4;
+  }
+  for (int j = 0; j < m; j++) {                  // PAR
+    pattern[j] = (j * 31) % 4;
+  }
+  int matches = 0;
+  for (int i = 0; i + m <= n; i++) {             // PAR
+    int hit = 1;
+    for (int j = 0; j < m; j++) {                // SEQ
+      if (text[i + j] != pattern[j]) {
+        hit = 0;
+        break;
+      }
+    }
+    matches += hit;
+  }
+  return matches;
+}
+"""
+
+
+def stringsearch_source(scale: int = 1) -> str:
+    return _src(_STRINGSEARCH, N=1500 * scale, M=6)
+
+
+register(Workload("stringsearch", "textbook", stringsearch_source,
+                  description="naive string matching: independent window tests"))
+
+TEXTBOOK_NAMES = ("matmul", "histogram", "mandelbrot", "nbody", "dotprod",
+                  "primes", "pi", "stringsearch")

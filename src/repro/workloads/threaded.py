@@ -1,0 +1,442 @@
+"""Multi-threaded target programs.
+
+Two families:
+
+* ``*-pthread`` — Starbench-style pthread versions (4 worker threads) used
+  by the Fig. 2.10/2.11 experiments (profiling parallel targets);
+* ``splash2x-*`` — kernels with the canonical communication shapes of
+  Fig. 5.1: neighbour/ring exchange, master-worker distribution, and
+  all-to-all reduction.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+
+def _src(template: str, **params) -> str:
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    return out.strip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Starbench pthread versions (4 workers, block decomposition)
+# ---------------------------------------------------------------------------
+
+_KMEANS_PT = """
+float px[@NPT@];
+float py[@NPT@];
+int assign[@NPT@];
+float cx[@K@];
+float cy[@K@];
+float sumx[@K@];
+float sumy[@K@];
+int cnt[@K@];
+
+void worker(int t, int nthreads) {
+  int n = @NPT@;
+  int chunk = n / nthreads;
+  int lo = t * chunk;
+  int hi = lo + chunk;
+  for (int i = lo; i < hi; i++) {                // PAR
+    float bestd = 1000000.0;
+    int bestc = 0;
+    for (int c = 0; c < @K@; c++) {              // SEQ
+      float dx = px[i] - cx[c];
+      float dy = py[i] - cy[c];
+      float d = dx * dx + dy * dy;
+      if (d < bestd) { bestd = d; bestc = c; }
+    }
+    assign[i] = bestc;
+    lock(1);
+    sumx[bestc] += px[i];
+    sumy[bestc] += py[i];
+    cnt[bestc] += 1;
+    unlock(1);
+  }
+}
+
+int main() {
+  int n = @NPT@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    px[i] = (i * 29 % 1000) * 0.001;
+    py[i] = (i * 67 % 1000) * 0.001;
+  }
+  for (int c = 0; c < @K@; c++) {                // PAR
+    cx[c] = (c * 131 % 1000) * 0.001;
+    cy[c] = (c * 197 % 1000) * 0.001;
+  }
+  int t0 = spawn worker(0, 4);
+  int t1 = spawn worker(1, 4);
+  int t2 = spawn worker(2, 4);
+  int t3 = spawn worker(3, 4);
+  join(t0); join(t1); join(t2); join(t3);
+  int code = 0;
+  for (int c = 0; c < @K@; c++) {                // PAR
+    code += cnt[c];
+  }
+  return code;
+}
+"""
+
+
+def kmeans_pt_source(scale: int = 1) -> str:
+    return _src(_KMEANS_PT, NPT=240 * scale, K=8)
+
+
+register(Workload("kmeans-pthread", "starbench-pthread", kmeans_pt_source,
+                  threaded=True,
+                  description="k-means assignment step with lock-protected "
+                              "centroid accumulation"))
+
+
+_MD5_PT = """
+int digests[@NBUF@];
+
+int md5ish(int seed, int len) {
+  int a = 1732584193;
+  int b = 271733878;
+  int w = seed;
+  for (int i = 0; i < len; i++) {                // SEQ
+    w = (w * 69069 + 1) % 2147483647;
+    int tmp = b;
+    b = (a + ((w >> 3) | (w << 5))) & 2147483647;
+    a = tmp;
+  }
+  return (a ^ b) & 2147483647;
+}
+
+void worker(int t, int nthreads) {
+  int nbuf = @NBUF@;
+  int chunk = nbuf / nthreads;
+  for (int i = t * chunk; i < (t + 1) * chunk; i++) {  // PAR
+    digests[i] = md5ish(i * 2654435761 % 2147483647, @LEN@);
+  }
+}
+
+int main() {
+  int t0 = spawn worker(0, 4);
+  int t1 = spawn worker(1, 4);
+  int t2 = spawn worker(2, 4);
+  int t3 = spawn worker(3, 4);
+  join(t0); join(t1); join(t2); join(t3);
+  int check = 0;
+  for (int i = 0; i < @NBUF@; i++) {             // PAR
+    check = (check + digests[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def md5_pt_source(scale: int = 1) -> str:
+    return _src(_MD5_PT, NBUF=24 * scale, LEN=50)
+
+
+register(Workload("md5-pthread", "starbench-pthread", md5_pt_source,
+                  threaded=True,
+                  description="md5 over independent buffer blocks per thread"))
+
+
+_RGBYUV_PT = """
+int r[@NPIX@];
+int g[@NPIX@];
+int b[@NPIX@];
+int yy[@NPIX@];
+
+void worker(int t, int nthreads) {
+  int n = @NPIX@;
+  int chunk = n / nthreads;
+  for (int i = t * chunk; i < (t + 1) * chunk; i++) {  // PAR
+    yy[i] = (66 * r[i] + 129 * g[i] + 25 * b[i] + 4224) / 256;
+  }
+}
+
+int main() {
+  int n = @NPIX@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    r[i] = (i * 7) % 256;
+    g[i] = (i * 13) % 256;
+    b[i] = (i * 29) % 256;
+  }
+  int t0 = spawn worker(0, 4);
+  int t1 = spawn worker(1, 4);
+  int t2 = spawn worker(2, 4);
+  int t3 = spawn worker(3, 4);
+  join(t0); join(t1); join(t2); join(t3);
+  int check = 0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    check = (check + yy[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def rgbyuv_pt_source(scale: int = 1) -> str:
+    return _src(_RGBYUV_PT, NPIX=600 * scale)
+
+
+register(Workload("rgbyuv-pthread", "starbench-pthread", rgbyuv_pt_source,
+                  threaded=True,
+                  description="per-thread pixel block colour conversion"))
+
+
+_CRAY_PT = """
+float img[@NPIX@];
+
+float shade(float px, float py) {
+  float dx = px - 0.5;
+  float dy = py - 0.5;
+  float d2 = dx * dx + dy * dy;
+  if (d2 < 0.2) {
+    return sqrt(0.2 - d2);
+  }
+  return 0.0;
+}
+
+void worker(int t, int nthreads) {
+  int w = @W@;
+  int h = @H@;
+  int rows = h / nthreads;
+  for (int y = t * rows; y < (t + 1) * rows; y++) {  // PAR
+    for (int x = 0; x < w; x++) {                // PAR
+      img[y * w + x] = shade(x * 1.0 / w, y * 1.0 / h);
+    }
+  }
+}
+
+int main() {
+  int t0 = spawn worker(0, 4);
+  int t1 = spawn worker(1, 4);
+  int t2 = spawn worker(2, 4);
+  int t3 = spawn worker(3, 4);
+  join(t0); join(t1); join(t2); join(t3);
+  float total = 0.0;
+  for (int i = 0; i < @NPIX@; i++) {             // PAR
+    total += img[i];
+  }
+  return __int(total * 100.0);
+}
+"""
+
+
+def cray_pt_source(scale: int = 1) -> str:
+    w, h = 24 * scale, 16 * scale
+    return _src(_CRAY_PT, W=w, H=h, NPIX=w * h)
+
+
+register(Workload("c-ray-pthread", "starbench-pthread", cray_pt_source,
+                  threaded=True,
+                  description="row-block raytracing per thread"))
+
+
+_ROTATE_PT = """
+int src[@NPIX@];
+int dst[@NPIX@];
+
+void worker(int t, int nthreads) {
+  int w = @W@;
+  int h = @H@;
+  int rows = h / nthreads;
+  for (int y = t * rows; y < (t + 1) * rows; y++) {  // PAR
+    for (int x = 0; x < w; x++) {                // PAR
+      dst[x * h + (h - 1 - y)] = src[y * w + x];
+    }
+  }
+}
+
+int main() {
+  int n = @NPIX@;
+  for (int i = 0; i < n; i++) {                  // PAR
+    src[i] = (i * 17) % 256;
+  }
+  int t0 = spawn worker(0, 4);
+  int t1 = spawn worker(1, 4);
+  int t2 = spawn worker(2, 4);
+  int t3 = spawn worker(3, 4);
+  join(t0); join(t1); join(t2); join(t3);
+  int check = 0;
+  for (int i = 0; i < n; i++) {                  // PAR
+    check = (check + dst[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def rotate_pt_source(scale: int = 1) -> str:
+    w, h = 28 * scale, 16 * scale
+    return _src(_ROTATE_PT, W=w, H=h, NPIX=w * h)
+
+
+register(Workload("rotate-pthread", "starbench-pthread", rotate_pt_source,
+                  threaded=True,
+                  description="row-block image rotation per thread"))
+
+PTHREAD_NAMES = ("kmeans-pthread", "md5-pthread", "rgbyuv-pthread",
+                 "c-ray-pthread", "rotate-pthread")
+
+# ---------------------------------------------------------------------------
+# splash2x-like communication-pattern kernels (Fig. 5.1)
+# ---------------------------------------------------------------------------
+
+_RING = """
+float cells[@TOTAL@];
+float halo[@NT@];
+
+void worker(int t, int nthreads, int steps) {
+  int chunk = @CHUNK@;
+  int base = t * chunk;
+  for (int s = 0; s < steps; s++) {              // SEQ
+    lock(t);
+    halo[t] = cells[base + chunk - 1];
+    unlock(t);
+    int left = (t + nthreads - 1) % nthreads;
+    lock(left);
+    float incoming = halo[left];
+    unlock(left);
+    for (int i = chunk - 1; i > 0; i--) {        // SEQ
+      cells[base + i] = (cells[base + i] + cells[base + i - 1]) * 0.5;
+    }
+    cells[base] = (cells[base] + incoming) * 0.5;
+  }
+}
+
+int main() {
+  int nt = @NT@;
+  for (int i = 0; i < @TOTAL@; i++) {            // PAR
+    cells[i] = (i % 50) * 0.02;
+  }
+  int t0 = spawn worker(0, nt, @STEPS@);
+  int t1 = spawn worker(1, nt, @STEPS@);
+  int t2 = spawn worker(2, nt, @STEPS@);
+  int t3 = spawn worker(3, nt, @STEPS@);
+  join(t0); join(t1); join(t2); join(t3);
+  float total = 0.0;
+  for (int i = 0; i < @TOTAL@; i++) {            // PAR
+    total += cells[i];
+  }
+  return __int(total * 100.0);
+}
+"""
+
+
+def ring_source(scale: int = 1) -> str:
+    nt, chunk = 4, 40 * scale
+    return _src(_RING, NT=nt, CHUNK=chunk, TOTAL=nt * chunk, STEPS=4)
+
+
+register(Workload("splash2x-ocean", "splash2x", ring_source, threaded=True,
+                  description="ocean-style ring halo exchange: neighbour "
+                              "communication pattern"))
+
+
+_MASTER = """
+int work[@NITEMS@];
+int results[@NITEMS@];
+int next_item;
+int done_count;
+
+void worker(int t) {
+  int have = 1;
+  while (have == 1) {                            // SEQ
+    lock(9);
+    int item = next_item;
+    next_item = next_item + 1;
+    unlock(9);
+    if (item >= @NITEMS@) {
+      have = 0;
+    } else {
+      int v = work[item];
+      int acc = 0;
+      for (int i = 0; i < 20 + v % 13; i++) {    // SEQ
+        acc = (acc + v * i) % 997;
+      }
+      results[item] = acc;
+    }
+  }
+  lock(8);
+  done_count += 1;
+  unlock(8);
+}
+
+int main() {
+  next_item = 0;
+  done_count = 0;
+  for (int i = 0; i < @NITEMS@; i++) {           // PAR
+    work[i] = (i * 2654435761) % 101;
+  }
+  int t0 = spawn worker(0);
+  int t1 = spawn worker(1);
+  int t2 = spawn worker(2);
+  int t3 = spawn worker(3);
+  join(t0); join(t1); join(t2); join(t3);
+  int check = 0;
+  for (int i = 0; i < @NITEMS@; i++) {           // PAR
+    check = (check + results[i]) % 1000000007;
+  }
+  return check;
+}
+"""
+
+
+def master_source(scale: int = 1) -> str:
+    return _src(_MASTER, NITEMS=40 * scale)
+
+
+register(Workload("splash2x-radiosity", "splash2x", master_source,
+                  threaded=True,
+                  description="radiosity-style shared work queue: master-worker "
+                              "communication through the queue head"))
+
+
+_ALLTOALL = """
+float partial[@SLOTS@];
+float phase2[@SLOTS@];
+
+void worker(int t, int nthreads) {
+  for (int i = 0; i < @PERT@; i++) {             // SEQ
+    partial[t * @PERT@ + i] = (t * 31 + i * 7) % 100 * 0.01;
+  }
+  lock(t + 20);
+  unlock(t + 20);
+  float acc = 0.0;
+  for (int other = 0; other < nthreads; other++) {  // SEQ
+    for (int i = 0; i < @PERT@; i++) {           // SEQ
+      acc += partial[other * @PERT@ + i];
+    }
+  }
+  for (int i = 0; i < @PERT@; i++) {             // SEQ
+    phase2[t * @PERT@ + i] = acc / (i + 1.0);
+  }
+}
+
+int main() {
+  int nt = @NT@;
+  int t0 = spawn worker(0, nt);
+  int t1 = spawn worker(1, nt);
+  int t2 = spawn worker(2, nt);
+  int t3 = spawn worker(3, nt);
+  join(t0); join(t1); join(t2); join(t3);
+  float total = 0.0;
+  for (int i = 0; i < @SLOTS@; i++) {            // PAR
+    total += phase2[i];
+  }
+  return __int(total);
+}
+"""
+
+
+def alltoall_source(scale: int = 1) -> str:
+    nt, per_t = 4, 30 * scale
+    return _src(_ALLTOALL, NT=nt, PERT=per_t, SLOTS=nt * per_t)
+
+
+register(Workload("splash2x-fft", "splash2x", alltoall_source, threaded=True,
+                  description="fft-style transpose: every thread reads every "
+                              "other thread's partial results (all-to-all)"))
+
+SPLASH_NAMES = ("splash2x-ocean", "splash2x-radiosity", "splash2x-fft")

@@ -1,0 +1,278 @@
+"""Tests for the MiniC frontend: lexer, parser, semantic analysis."""
+
+import pytest
+
+from repro.minic import astnodes as ast
+from repro.minic.lexer import LexError, tokenize
+from repro.minic.parser import ParseError, parse
+from repro.minic.sema import SemanticError, analyze
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+
+class TestLexer:
+    def test_integers_and_floats(self):
+        kinds = [(t.kind, t.value) for t in tokenize("42 3.5 1e3 2.5e-2 .5")][:-1]
+        assert kinds == [
+            ("intlit", 42),
+            ("floatlit", 3.5),
+            ("floatlit", 1000.0),
+            ("floatlit", 0.025),
+            ("floatlit", 0.5),
+        ]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int intx for fortune while")
+        assert [t.kind for t in toks[:-1]] == [
+            "int", "ident", "for", "ident", "while",
+        ]
+
+    def test_multichar_operators_greedy(self):
+        toks = tokenize("a <<= b << c <= d < e")
+        ops = [t.kind for t in toks if t.kind not in ("ident", "eof")]
+        assert ops == ["<<=", "<<", "<=", "<"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b\n    c")
+        positions = [(t.line, t.col) for t in toks[:-1]]
+        assert positions == [(1, 1), (2, 3), (3, 5)]
+
+    def test_line_comments_skipped(self):
+        toks = tokenize("a // comment here\nb")
+        assert [t.value for t in toks[:-1]] == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        toks = tokenize("a /* multi\nline */ b")
+        assert [t.value for t in toks[:-1]] == ["a", "b"]
+        assert toks[1].line == 2
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+    def test_increment_decrement(self):
+        toks = tokenize("i++ j--")
+        assert [t.kind for t in toks[:-1]] == ["ident", "++", "ident", "--"]
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+class TestParser:
+    def test_global_and_function(self):
+        prog = parse("int g;\nint main() { return g; }")
+        assert len(prog.globals) == 1
+        assert prog.globals[0].name == "g"
+        assert prog.function("main").return_type == "int"
+
+    def test_array_global(self):
+        prog = parse("float a[10];\nvoid main() { }")
+        decl = prog.globals[0]
+        assert isinstance(decl.array_size, ast.Num)
+        assert decl.array_size.value == 10
+
+    def test_precedence(self):
+        prog = parse("int main() { return 1 + 2 * 3; }")
+        ret = prog.function("main").body.body[0]
+        assert isinstance(ret.value, ast.BinOp)
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_comparison_and_logical(self):
+        prog = parse("int main() { if (1 < 2 && 3 >= 2 || 0) { return 1; } return 0; }")
+        cond = prog.function("main").body.body[0].cond
+        assert cond.op == "||"
+        assert cond.left.op == "&&"
+
+    def test_unary(self):
+        prog = parse("int main() { return -1 + !0 + ~5; }")
+        assert prog is not None
+
+    def test_for_with_decl_init(self):
+        prog = parse("int main() { for (int i = 0; i < 3; i++) { } return 0; }")
+        loop = prog.function("main").body.body[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert isinstance(loop.step, ast.Assign)
+        assert loop.step.op == "+="
+
+    def test_for_clauses_optional(self):
+        prog = parse("int main() { for (;;) { break; } return 0; }")
+        loop = prog.function("main").body.body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_while_and_dangling_else(self):
+        prog = parse(
+            "int main() { if (1) if (0) return 1; else return 2; return 3; }"
+        )
+        outer = prog.function("main").body.body[0]
+        inner = outer.then_body.body[0]
+        assert isinstance(inner, ast.If)
+        assert inner.else_body is not None
+        assert outer.else_body is None
+
+    def test_compound_assignment_ops(self):
+        src = "int main() { int x = 1; x += 1; x -= 1; x *= 2; x /= 2; x %= 3; return x; }"
+        prog = parse(src)
+        ops = [s.op for s in prog.function("main").body.body[1:-1]]
+        assert ops == ["+=", "-=", "*=", "/=", "%="]
+
+    def test_increment_desugars(self):
+        prog = parse("int main() { int i = 0; i++; return i; }")
+        stmt = prog.function("main").body.body[1]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "+=" and stmt.value.value == 1
+
+    def test_index_and_call(self):
+        prog = parse("int a[4];\nint f(int x) { return x; }\nint main() { return f(a[2]); }")
+        ret = prog.function("main").body.body[0]
+        assert isinstance(ret.value, ast.Call)
+        assert isinstance(ret.value.args[0], ast.Index)
+
+    def test_spawn_join_lock(self):
+        src = """
+        void w(int t) { lock(1); unlock(1); }
+        int main() { int t = spawn w(0); join(t); return 0; }
+        """
+        prog = parse(src)
+        body = prog.function("main").body.body
+        assert isinstance(body[0].init, ast.SpawnExpr)
+        assert isinstance(body[1], ast.Join)
+
+    def test_single_statement_bodies_become_blocks(self):
+        prog = parse("int main() { if (1) return 1; return 0; }")
+        stmt = prog.function("main").body.body[0]
+        assert isinstance(stmt.then_body, ast.Block)
+
+    def test_cast_syntax(self):
+        prog = parse("int main() { return int(3.7) + __int(2.5); }")
+        analyze(prog)
+        expr = prog.function("main").body.body[0].value
+        assert expr.left.is_builtin and expr.left.name == "__int"
+        assert expr.right.is_builtin
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 }")
+
+    def test_bad_assignment_target_raises(self):
+        with pytest.raises(ParseError):
+            parse("int main() { 1 = 2; return 0; }")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0;")
+
+    def test_end_lines_recorded(self):
+        prog = parse("int main() {\n  for (int i = 0; i < 3; i++) {\n    i = i;\n  }\n  return 0;\n}")
+        loop = prog.function("main").body.body[0]
+        assert loop.line == 2 and loop.end_line == 4
+
+
+# ---------------------------------------------------------------------------
+# semantic analysis
+# ---------------------------------------------------------------------------
+
+
+class TestSema:
+    def test_var_ids_assigned(self):
+        prog = parse("int g;\nint main() { int l = g; return l; }")
+        table = analyze(prog)
+        assert prog.globals[0].var_id is not None
+        info = table.var(prog.globals[0].var_id)
+        assert info.kind == "global" and info.name == "g"
+
+    def test_scope_shadowing(self):
+        src = """
+        int x;
+        int main() {
+          int x = 1;
+          if (x) { int x = 2; x = 3; }
+          return x;
+        }
+        """
+        prog = parse(src)
+        table = analyze(prog)
+        # three distinct x declarations
+        xs = [v for v in table.variables.values() if v.name == "x"]
+        assert len(xs) == 3
+        kinds = sorted(v.kind for v in xs)
+        assert kinds == ["global", "local", "local"]
+
+    def test_undeclared_variable_raises(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int main() { return missing; }"))
+
+    def test_redeclaration_same_scope_raises(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int main() { int a = 1; int a = 2; return a; }"))
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int main() { return nope(1); }"))
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int f(int a) { return a; }\nint main() { return f(1, 2); }"))
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int main() { return __int(sqrt(1, 2)); }"))
+
+    def test_whole_array_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int a[3];\nint main() { a = 1; return 0; }"))
+
+    def test_indexing_float_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("float f;\nint main() { return f[0]; }"))
+
+    def test_indexing_int_scalar_allowed_pointer_style(self):
+        table = analyze(parse(
+            "int main() { int p = alloc(4); p[0] = 1; free(p); return 0; }"
+        ))
+        assert table is not None
+
+    def test_dynamic_array_size_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int main() { int n = 4; int a[n]; return 0; }"))
+
+    def test_array_param_reference(self):
+        src = "void f(int a[]) { a[0] = 1; }\nint b[2];\nint main() { f(b); return b[0]; }"
+        table = analyze(parse(src))
+        params = table.functions["f"].params
+        assert params[0].is_array
+
+    def test_function_shadowing_builtin_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int sqrt(int x) { return x; }\nint main() { return 0; }"))
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("int f() { return 1; }\nint f() { return 2; }\nint main() { return 0; }"))
+
+    def test_for_init_scope(self):
+        # the i of each for is its own variable
+        src = """
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 2; i++) { s += i; }
+          for (int i = 0; i < 3; i++) { s += i; }
+          return s;
+        }
+        """
+        table = analyze(parse(src))
+        is_ = [v for v in table.variables.values() if v.name == "i"]
+        assert len(is_) == 2

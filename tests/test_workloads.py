@@ -1,0 +1,141 @@
+"""Workload-suite integration tests: every benchmark compiles, runs
+deterministically, carries ground truth, and the detection results line up
+with the headline claims (Table 4.1 / 4.6 shapes)."""
+
+import pytest
+
+from repro.discovery import discover_source
+from repro.discovery.loops import LoopClass
+from repro.runtime.interpreter import VM
+from repro.workloads import REGISTRY, get_workload, workloads_in_suite
+from repro.workloads.nas import NAS_NAMES
+
+ALL_NAMES = sorted(REGISTRY)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_runs_and_is_deterministic(name):
+    w = get_workload(name)
+    module = w.compile(scale=1)
+    vm1 = VM(module, None, instrument=False, quantum=16)
+    r1 = vm1.run(w.entry)
+    module2 = w.compile(scale=1)
+    vm2 = VM(module2, None, instrument=False, quantum=16)
+    r2 = vm2.run(w.entry)
+    assert r1 == r2
+    assert vm1.total_steps == vm2.total_steps
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_ground_truth_marks_every_loop(name):
+    """Every loop header in a workload carries a PAR/SEQ marker (keeps the
+    detection tables honest)."""
+    w = get_workload(name)
+    src = w.source(1)
+    truth = w.ground_truth(1)
+    unmarked = []
+    for lineno, text in enumerate(src.splitlines(), 1):
+        stripped = text.strip()
+        if (stripped.startswith("for (") or stripped.startswith("while (")) \
+                and lineno not in truth:
+            unmarked.append((lineno, stripped))
+    assert not unmarked, f"loops without PAR/SEQ markers: {unmarked}"
+
+
+@pytest.mark.parametrize("name", ["CG", "MG", "rgbyuv", "matmul", "dotprod"])
+def test_detection_agrees_with_clear_truth(name):
+    """On benchmarks without intended misses: every reference-parallel loop
+    must be found.  Extra suggestions on reference-sequential loops are
+    allowed only as reductions or DOACROSS (granularity choices the paper's
+    tool also surfaces as "additional suggestions"); plain DOALL on a
+    SEQ-marked loop would be a genuine false positive."""
+    w = get_workload(name)
+    res = discover_source(w.source(1))
+    truth = w.ground_truth(1)
+    for info in res.loops:
+        if info.start_line not in truth:
+            continue
+        expected = truth[info.start_line]
+        if expected:
+            assert info.is_parallelizable, (
+                f"{name} loop @{info.start_line}: detected "
+                f"{info.classification}, truth says parallel"
+            )
+        else:
+            assert info.classification != LoopClass.DOALL, (
+                f"{name} loop @{info.start_line}: plain DOALL on a "
+                f"reference-sequential loop"
+            )
+
+
+def test_nas_recall_matches_paper_band():
+    """Table 4.1 headline: 92.5 % of reference-parallel NAS loops found.
+
+    Our suite embeds deliberate misses (EP seed chain, IS histogram) and
+    must land in the 85-100 % recall band with those as the only misses."""
+    found = total = 0
+    missed = []
+    for name in NAS_NAMES:
+        w = get_workload(name)
+        res = discover_source(w.source(1))
+        truth = w.ground_truth(1)
+        detected = {l.start_line: l.is_parallelizable for l in res.loops}
+        for line, is_par in truth.items():
+            if not is_par:
+                continue
+            total += 1
+            if detected.get(line, False):
+                found += 1
+            else:
+                missed.append((name, line))
+    recall = found / total
+    assert 0.85 <= recall < 1.0, f"recall {recall:.3f}, missed: {missed}"
+    assert {name for name, _ in missed} <= {"EP", "IS"}
+
+
+def test_no_false_positives_on_sequential_loops():
+    """A loop the reference keeps sequential must not be suggested as plain
+    DOALL.  Reduction and DOACROSS findings on such loops are legitimate
+    extra opportunities the reference chose (granularity) not to exploit."""
+    for name in NAS_NAMES:
+        w = get_workload(name)
+        res = discover_source(w.source(1))
+        truth = w.ground_truth(1)
+        for info in res.loops:
+            if truth.get(info.start_line) is False:
+                assert info.classification != LoopClass.DOALL, (
+                    f"{name} loop @{info.start_line} is marked SEQ in the "
+                    f"reference but detected plain DOALL"
+                )
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("fib", True),
+    ("sort", True),
+    ("fft", True),
+    ("strassen", False),
+])
+def test_bots_task_decisions(name, expected):
+    """Table 4.6 shape: correct task decisions on BOTS hot functions."""
+    w = get_workload(name)
+    res = discover_source(w.source(1))
+    hot = [fn for fn, ok in w.task_truth.items()][0]
+    groups = res.functions[hot].spmd_groups
+    recursive = [g for g in groups if g.callee == hot] or groups
+    assert recursive, f"no task group found in {hot}"
+    assert recursive[0].independent == expected
+
+
+def test_threaded_workloads_profile_cleanly():
+    from repro.profiler.serial import SerialProfiler
+    from repro.profiler.shadow import PerfectShadow
+
+    for w in workloads_in_suite("starbench-pthread"):
+        module = w.compile(1)
+        prof = SerialProfiler(PerfectShadow())
+        vm = VM(module, prof, quantum=16)
+        prof.sig_decoder = vm.loop_signature
+        vm.run()
+        tids = {d.sink_tid for d in prof.store}
+        assert len(vm.threads) == 5
+        assert len(tids) >= 2  # dependences recorded across threads
