@@ -3,7 +3,10 @@
 Run:  python examples/quickstart.py
 """
 
+import json
+
 from repro.discovery import discover_source
+from repro.engine import DiscoveryEngine, DiscoveryResult
 from repro.profiler.reportfmt import format_report
 
 SOURCE = """int image[4096];
@@ -56,6 +59,23 @@ def main() -> None:
 
     print("\n== ranked parallelization suggestions ==")
     print(result.format_report())
+
+    print("\n== staged engine: re-rank without re-profiling ==")
+    engine = DiscoveryEngine.from_source(SOURCE)
+    engine.profile()                     # Phase 1: the only VM execution
+    for n_threads in (2, 8, 32):
+        ranked = engine.rank(n_threads=n_threads)
+        top = ranked.suggestions[0]
+        print(f"  {n_threads:>2} threads -> top {top.kind} {top.location} "
+              f"(local speedup {top.scores.local_speedup:.1f})")
+    print(f"  instrumented VM executions: {engine.vm_runs}")
+
+    print("\n== artifacts round-trip through JSON ==")
+    payload = json.dumps(engine.run().to_dict())
+    reloaded = DiscoveryResult.from_dict(json.loads(payload))
+    assert reloaded.format_report() == engine.run().format_report()
+    print(f"  serialized result: {len(payload)} bytes; report identical "
+          "after reload")
 
 
 if __name__ == "__main__":

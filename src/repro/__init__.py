@@ -5,25 +5,58 @@ units + CU-based parallelism discovery).
 Public API tour
 ---------------
 
-Run the whole pipeline on MiniC source::
+The staged engine is the front door.  Phases run independently, cache
+their artifacts, and cheap phases re-run against cached expensive ones::
+
+    from repro import DiscoveryEngine
+
+    engine = DiscoveryEngine.from_source(open("prog.mc").read())
+    profile = engine.profile()      # Phase 1: the only VM execution
+    cus     = engine.build_cus()    # Phase 2a: CU construction
+    detect  = engine.detect()       # Phase 2b: loop + task detection
+    ranked  = engine.rank()         # Phase 3: scored suggestions
+    ranked8 = engine.rank(n_threads=8)   # re-rank WITHOUT re-profiling
+
+    result = engine.run()           # assembled DiscoveryResult
+    print(result.format_report())
+
+Configuration is a value object instead of loose kwargs::
+
+    from repro import DiscoveryConfig
+    config = DiscoveryConfig(source=src, n_threads=8,
+                             signature_slots=1 << 20, seed=7)
+    result = DiscoveryEngine(config=config).run()
+
+Every artifact — ``DiscoveryResult``, ``Suggestion``, ``LoopInfo``,
+``TaskGraph``, ``SPMDTaskGroup``, ``RankingScores``, the phase artifacts —
+round-trips through JSON::
+
+    from repro.engine import save_artifact, load_artifact
+    save_artifact(result, "out.json")
+    same_report = load_artifact("out.json").format_report()
+
+Batch analysis fans workloads across a process pool (also available as
+``repro batch`` on the command line)::
+
+    from repro.engine import job_for_workload, run_batch
+    rows = run_batch([job_for_workload(n) for n in ("fib", "sort", "CG")])
+
+One-shot wrappers (the pre-engine API, still fully supported)::
 
     from repro import discover_source
     result = discover_source(open("prog.mc").read())
-    print(result.format_report())
-
-Profile only (Chapter 2)::
 
     from repro import profile_source
     profiler, vm, exit_value = profile_source(source,
                                               signature_slots=1 << 20)
-    for dep in profiler.store.all():
-        ...
 
 Lower-level layers are exposed as subpackages: :mod:`repro.minic` (the
 C-like language), :mod:`repro.mir` (the LLVM-like IR), :mod:`repro.runtime`
 (the instrumenting VM), :mod:`repro.profiler`, :mod:`repro.cu`,
-:mod:`repro.discovery`, :mod:`repro.simulate`, :mod:`repro.apps`, and
-:mod:`repro.workloads` (the benchmark suite with ground truth).
+:mod:`repro.discovery`, :mod:`repro.engine`, :mod:`repro.simulate`,
+:mod:`repro.apps`, and :mod:`repro.workloads` (the benchmark suite with
+ground truth).  The command line lives in :mod:`repro.cli` (``repro
+profile|discover|report|batch``).
 """
 
 from repro.mir.lowering import compile_source
@@ -35,8 +68,15 @@ from repro.profiler.skipping import SkippingProfiler
 from repro.profiler.reportfmt import format_report
 from repro.cu import build_cu_graph, build_cus
 from repro.discovery import discover, discover_source
+from repro.engine import (
+    DiscoveryConfig,
+    DiscoveryEngine,
+    DiscoveryResult,
+    load_artifact,
+    save_artifact,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "compile_source",
@@ -53,5 +93,10 @@ __all__ = [
     "build_cu_graph",
     "discover",
     "discover_source",
+    "DiscoveryConfig",
+    "DiscoveryEngine",
+    "DiscoveryResult",
+    "load_artifact",
+    "save_artifact",
     "__version__",
 ]

@@ -1,5 +1,21 @@
 """Command-line entry points.
 
+The unified ``repro`` command drives the staged engine::
+
+    repro profile  file.mc [--format json] [--save prof.json]
+    repro discover file.mc [--threads 8] [--format json] [--save out.json]
+    repro discover --workload fib --format json
+    repro report   file.mc            # PET + profiling statistics
+    repro report   --load out.json    # re-render a saved result, no re-run
+    repro batch    fib sort CG --jobs 4 --format json
+
+Every subcommand supports ``--format json`` (machine-readable artifact
+dicts, see :mod:`repro.engine.artifacts`) and ``--save PATH`` to persist
+the artifact; ``repro report --load`` / ``repro discover --load`` reload a
+saved artifact instead of re-executing the program.
+
+The pre-engine single-purpose commands are kept as console scripts:
+
 * ``repro-profile file.mc``  — run the data-dependence profiler, print the
   Fig. 2.1-style report.
 * ``repro-discover file.mc`` — run the full discovery pipeline, print
@@ -10,6 +26,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -20,6 +37,273 @@ from repro.profiler.serial import SerialProfiler
 from repro.profiler.shadow import PerfectShadow, SignatureShadow
 from repro.profiler.skipping import SkippingProfiler
 from repro.runtime.interpreter import VM
+
+
+# ---------------------------------------------------------------------------
+# the unified `repro` command
+# ---------------------------------------------------------------------------
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--signature-slots",
+        type=int,
+        default=None,
+        help="signature size (omit for the exact shadow baseline)",
+    )
+    parser.add_argument("--seed", type=int, default=12345)
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json prints the artifact dict)",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="persist the artifact as JSON",
+    )
+
+
+def _config_from_args(args, source: str, name: str):
+    from repro.engine import DiscoveryConfig
+
+    return DiscoveryConfig(
+        source=source,
+        name=name,
+        entry=args.entry,
+        n_threads=getattr(args, "threads", 4),
+        signature_slots=args.signature_slots,
+        skip_loops=getattr(args, "skip_loops", False),
+        seed=args.seed,
+    )
+
+
+def _read_source(args) -> tuple[str, str]:
+    """(source text, display name) from a file path or --workload."""
+    if getattr(args, "workload", None):
+        from repro.workloads import REGISTRY, get_workload
+
+        if args.workload not in REGISTRY:
+            raise SystemExit(
+                f"error: unknown workload {args.workload!r} "
+                f"(see repro batch --suite, or one of: "
+                f"{', '.join(sorted(REGISTRY)[:8])}, ...)"
+            )
+        workload = get_workload(args.workload)
+        return workload.source(getattr(args, "scale", 1)), args.workload
+    if not args.source:
+        raise SystemExit("error: a source file or --workload is required")
+    try:
+        with open(args.source) as handle:
+            return handle.read(), args.source
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {args.source}: {exc}")
+
+
+def _emit(args, artifact, text: str) -> None:
+    """Print per --format and honour --save (one to_dict for both)."""
+    data = None
+    if args.format == "json" or args.save:
+        data = artifact.to_dict()
+    if args.format == "json":
+        print(json.dumps(data, indent=1))
+    else:
+        print(text)
+    if args.save:
+        with open(args.save, "w") as handle:
+            json.dump(data, handle, indent=1)
+        print(f"; saved {data['artifact']} -> {args.save}", file=sys.stderr)
+
+
+def cmd_profile(args) -> int:
+    from repro.engine import DiscoveryEngine
+
+    source, name = _read_source(args)
+    engine = DiscoveryEngine(config=_config_from_args(args, source, name))
+    t0 = time.perf_counter()
+    profile = engine.profile()
+    wall = time.perf_counter() - t0
+    _emit(args, profile, format_report(profile.store, profile.control))
+    stats = profile.stats
+    print(
+        f"; exit={profile.return_value} accesses={stats['accesses']} "
+        f"deps={stats['deps']} (merged from {stats['raw_occurrences']}) "
+        f"in {wall:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _load_artifact_or_exit(path: str):
+    from repro.engine import load_artifact
+
+    try:
+        return load_artifact(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot load artifact {path}: {exc}")
+
+
+def cmd_discover(args) -> int:
+    from repro.engine import DiscoveryEngine, DiscoveryResult
+
+    if args.load:
+        result = _load_artifact_or_exit(args.load)
+        if not isinstance(result, DiscoveryResult):
+            raise SystemExit(
+                f"error: {args.load} is not a saved discovery result"
+            )
+    else:
+        source, name = _read_source(args)
+        engine = DiscoveryEngine(
+            config=_config_from_args(args, source, name)
+        )
+        result = engine.run()
+    _emit(args, result, result.format_report())
+    print(
+        f"\n; exit={result.return_value} loops analysed={len(result.loops)} "
+        f"suggestions={len(result.suggestions)}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.engine import DiscoveryEngine, DiscoveryResult
+
+    if args.load:
+        artifact = _load_artifact_or_exit(args.load)
+        if isinstance(artifact, DiscoveryResult):
+            text = artifact.format_report()
+        elif hasattr(artifact, "store") and hasattr(artifact, "control"):
+            text = format_report(artifact.store, artifact.control)
+        elif hasattr(artifact, "suggestions"):
+            from repro.discovery.suggestions import format_suggestions
+
+            text = format_suggestions(artifact.suggestions)
+        else:
+            # no text rendering for this artifact kind: show the data
+            text = json.dumps(artifact.to_dict(), indent=1)
+        _emit(args, artifact, text)
+        return 0
+    source, name = _read_source(args)
+    engine = DiscoveryEngine(config=_config_from_args(args, source, name))
+    profile = engine.profile()
+    lines = [profile.pet.format_tree(), ""]
+    stats = profile.stats
+    lines.append(
+        f"exit={profile.return_value} reads={stats['reads']} "
+        f"writes={stats['writes']} deps={stats['deps']}"
+    )
+    for record in sorted(
+        profile.control.values(), key=lambda r: r.start_line
+    ):
+        if record.kind == "loop":
+            lines.append(
+                f"loop @{record.start_line}-{record.end_line}: "
+                f"{record.executions} executions, "
+                f"{record.total_iterations} iterations"
+            )
+    _emit(args, profile, "\n".join(lines))
+    return 0
+
+
+def cmd_batch(args) -> int:
+    from repro.engine import format_batch_table, job_for_workload, run_batch
+
+    names = list(args.workloads)
+    if args.suite:
+        from repro.workloads import suites, workloads_in_suite
+
+        if args.suite not in suites():
+            raise SystemExit(
+                f"error: unknown suite {args.suite!r} "
+                f"(one of: {', '.join(suites())})"
+            )
+        names.extend(w.name for w in workloads_in_suite(args.suite))
+    if not names:
+        raise SystemExit("error: name at least one workload or --suite")
+    overrides = {"n_threads": args.threads, "seed": args.seed}
+    jobs = [
+        job_for_workload(name, scale=args.scale, **overrides)
+        for name in names
+    ]
+    rows = run_batch(jobs, jobs_parallel=args.jobs)
+    if args.format == "json":
+        print(json.dumps(rows, indent=1))
+    else:
+        print(format_batch_table(rows))
+    if args.save:
+        with open(args.save, "w") as handle:
+            json.dump(rows, handle, indent=1)
+    failures = sum(1 for row in rows if not row["ok"])
+    print(
+        f"; {len(rows) - failures}/{len(rows)} workloads analysed",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiscoPoP-style parallelism discovery (staged engine)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="Phase 1 only: dependence profiling")
+    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("--workload", help="registry workload name instead")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--skip-loops", action="store_true",
+                   help="enable the §2.4 skipping optimization")
+    _add_run_options(p)
+    _add_output_options(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("discover", help="full pipeline: ranked suggestions")
+    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("--workload", help="registry workload name instead")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--threads", type=int, default=4,
+                   help="thread count assumed by the ranking")
+    p.add_argument("--load", metavar="PATH", default=None,
+                   help="re-render a saved discovery result (no re-run)")
+    _add_run_options(p)
+    _add_output_options(p)
+    p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser("report", help="profiling statistics + PET")
+    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("--workload", help="registry workload name instead")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--load", metavar="PATH", default=None,
+                   help="render a saved artifact instead of re-running")
+    _add_run_options(p)
+    _add_output_options(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("batch", help="fan workloads across a process pool")
+    p.add_argument("workloads", nargs="*", help="registry workload names")
+    p.add_argument("--suite", help="add every workload of a suite")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="process-pool width (1 = in-process)")
+    p.add_argument("--seed", type=int, default=12345)
+    _add_output_options(p)
+    p.set_defaults(func=cmd_batch)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+# ---------------------------------------------------------------------------
+# legacy single-purpose entry points
+# ---------------------------------------------------------------------------
 
 
 def _common_parser(description: str) -> argparse.ArgumentParser:
@@ -135,4 +419,4 @@ def main_report(argv=None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main_discover())
+    sys.exit(main())

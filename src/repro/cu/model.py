@@ -44,6 +44,41 @@ class CU:
             f"r={len(self.read_set)} w={len(self.write_set)}>"
         )
 
+    def to_dict(self) -> dict:
+        """Stable JSON form: frozensets become sorted lists, phase pairs
+        become two-element lists."""
+        return {
+            "cu_id": self.cu_id,
+            "region_id": self.region_id,
+            "func": self.func,
+            "kind": self.kind,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "lines": sorted(self.lines),
+            "read_set": sorted(self.read_set),
+            "write_set": sorted(self.write_set),
+            "read_phase": sorted(list(p) for p in self.read_phase),
+            "write_phase": sorted(list(p) for p in self.write_phase),
+            "instructions": self.instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CU":
+        return cls(
+            cu_id=data["cu_id"],
+            region_id=data["region_id"],
+            func=data["func"],
+            kind=data["kind"],
+            start_line=data["start_line"],
+            end_line=data["end_line"],
+            lines=frozenset(data["lines"]),
+            read_set=frozenset(data["read_set"]),
+            write_set=frozenset(data["write_set"]),
+            read_phase=frozenset(tuple(p) for p in data["read_phase"]),
+            write_phase=frozenset(tuple(p) for p in data["write_phase"]),
+            instructions=data["instructions"],
+        )
+
 
 @dataclass
 class RegionCUInfo:
@@ -93,3 +128,56 @@ class CURegistry:
 
     def __len__(self) -> int:
         return len(self.all_cus)
+
+    def to_dict(self) -> dict:
+        """JSON form suitable for persisting CU artifacts to disk (the
+        DiscoPoP cu-graph-analyzer pattern: downstream analyses consume the
+        persisted CU set without re-running the program)."""
+        return {
+            "next_id": self._next_id,
+            "cus": [
+                cu.to_dict()
+                for _, cu in sorted(self.all_cus.items())
+            ],
+            "regions": [
+                {
+                    "region_id": info.region_id,
+                    "is_single_cu": info.is_single_cu,
+                    "region_cu": (
+                        info.region_cu.cu_id
+                        if info.region_cu is not None
+                        else None
+                    ),
+                    "segments": [cu.cu_id for cu in info.segments],
+                    "violations": sorted(
+                        list(v) for v in info.violations
+                    ),
+                }
+                for _, info in sorted(self.by_region.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CURegistry":
+        registry = cls()
+        registry._next_id = data["next_id"]
+        for entry in data["cus"]:
+            cu = CU.from_dict(entry)
+            registry.all_cus[cu.cu_id] = cu
+        for entry in data["regions"]:
+            registry.by_region[entry["region_id"]] = RegionCUInfo(
+                region_id=entry["region_id"],
+                is_single_cu=entry["is_single_cu"],
+                region_cu=(
+                    registry.all_cus[entry["region_cu"]]
+                    if entry["region_cu"] is not None
+                    else None
+                ),
+                segments=[
+                    registry.all_cus[cu_id] for cu_id in entry["segments"]
+                ],
+                violations=frozenset(
+                    tuple(v) for v in entry["violations"]
+                ),
+            )
+        return registry

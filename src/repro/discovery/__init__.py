@@ -21,23 +21,37 @@ from repro.discovery.loops import (
     analyze_loop,
     analyze_loops,
 )
-from repro.discovery.tasks import TaskGraph, find_mpmd_tasks, find_spmd_tasks
+from repro.discovery.tasks import (
+    SPMDTaskGroup,
+    TaskGraph,
+    call_sites,
+    find_mpmd_tasks,
+    find_spmd_tasks,
+)
 from repro.discovery.ranking import RankingScores, rank_suggestions
 from repro.discovery.suggestions import Suggestion
-from repro.discovery.pipeline import DiscoveryResult, discover, discover_source
+from repro.discovery.pipeline import (
+    DiscoveryResult,
+    FunctionTaskAnalysis,
+    discover,
+    discover_source,
+)
 
 __all__ = [
     "LoopClass",
     "LoopInfo",
     "analyze_loop",
     "analyze_loops",
+    "SPMDTaskGroup",
     "TaskGraph",
+    "call_sites",
     "find_mpmd_tasks",
     "find_spmd_tasks",
     "RankingScores",
     "rank_suggestions",
     "Suggestion",
     "DiscoveryResult",
+    "FunctionTaskAnalysis",
     "discover",
     "discover_source",
 ]

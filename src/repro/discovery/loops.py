@@ -77,6 +77,40 @@ class LoopInfo:
     def location(self) -> str:
         return f"{self.func}:{self.start_line}-{self.end_line}"
 
+    def to_dict(self) -> dict:
+        """Stable JSON form (sets sorted, dependences nested as dicts)."""
+        return {
+            "region_id": self.region_id,
+            "func": self.func,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "classification": self.classification,
+            "iterations": self.iterations,
+            "instructions": self.instructions,
+            "blocking": [d.to_dict() for d in self.blocking],
+            "reduction_vars": sorted(self.reduction_vars),
+            "private_vars": sorted(self.private_vars),
+            "stages": self.stages,
+            "parallel_fraction": self.parallel_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoopInfo":
+        return cls(
+            region_id=data["region_id"],
+            func=data["func"],
+            start_line=data["start_line"],
+            end_line=data["end_line"],
+            classification=data["classification"],
+            iterations=data["iterations"],
+            instructions=data["instructions"],
+            blocking=[Dependence.from_dict(d) for d in data["blocking"]],
+            reduction_vars=set(data["reduction_vars"]),
+            private_vars=set(data["private_vars"]),
+            stages=data["stages"],
+            parallel_fraction=data["parallel_fraction"],
+        )
+
 
 def _iter_var_names(module: Module, region: Region) -> set:
     names = set()

@@ -10,91 +10,37 @@ SPMD/MPMD tasks per function container over call-site-anchored dependences.
 
 Phase 3 — rank everything (instruction coverage, local speedup, CU
 imbalance) and emit suggestions.
+
+This module is the *legacy facade*: the staged implementation lives in
+:mod:`repro.engine` (:class:`~repro.engine.core.DiscoveryEngine`), whose
+phases are independently runnable and cached.  ``discover()`` /
+``discover_source()`` below simply run every phase in one shot and return
+the assembled :class:`~repro.engine.artifacts.DiscoveryResult` — exactly
+the behaviour callers always had.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cu.graph import CUGraph, build_cu_graph, container_cus
-from repro.cu.model import CURegistry
-from repro.cu.topdown import TopDownBuilder
-from repro.discovery.lifting import anchor_events
-from repro.discovery.loops import LoopClass, LoopInfo, analyze_loops
-from repro.discovery.ranking import (
-    RankingScores,
-    rank_suggestions,
-    score_loop,
-    score_task_graph,
-)
-from repro.discovery.suggestions import Suggestion
-from repro.discovery.tasks import (
-    SPMDTaskGroup,
-    TaskGraph,
-    find_mpmd_tasks,
-    find_spmd_tasks,
+from repro.engine.artifacts import DiscoveryResult, FunctionTaskAnalysis
+from repro.engine.config import DiscoveryConfig
+from repro.engine.core import (
+    MPMD_MIN_COVERAGE,
+    MPMD_MIN_SPEEDUP,
+    DiscoveryEngine,
 )
 from repro.mir.lowering import compile_source
 from repro.mir.module import Module
-from repro.profiler.deps import DependenceStore
-from repro.profiler.pet import PETBuilder
-from repro.profiler.serial import SerialProfiler
-from repro.profiler.shadow import PerfectShadow, SignatureShadow
-from repro.runtime.events import TraceSink
-from repro.runtime.interpreter import VM
 
-#: a task graph must promise at least this inherent speedup to be suggested
-MPMD_MIN_SPEEDUP = 1.2
-#: and represent at least this fraction of the program's work
-MPMD_MIN_COVERAGE = 0.01
-
-
-@dataclass
-class FunctionTaskAnalysis:
-    """Task-parallelism artefacts of one function container."""
-
-    func: str
-    region_id: int
-    anchored_store: DependenceStore
-    cu_graph: CUGraph
-    spmd_groups: list[SPMDTaskGroup] = field(default_factory=list)
-    task_graph: Optional[TaskGraph] = None
-
-
-@dataclass
-class DiscoveryResult:
-    """Everything the pipeline produced, for inspection and benches."""
-
-    module: Module
-    return_value: object
-    store: DependenceStore
-    control: dict
-    registry: CURegistry
-    line_counts: dict
-    total_instructions: int
-    loops: list[LoopInfo]
-    functions: dict[str, FunctionTaskAnalysis]
-    suggestions: list[Suggestion]
-    pet: PETBuilder
-    #: task analyses for loop bodies that contain call sites (MPMD inside
-    #: loops — the Fig. 4.10 FaceDetection shape), keyed by loop region id
-    loop_tasks: dict = None
-    trace: Optional[TraceSink] = None
-    vm: Optional[VM] = None
-
-    def loop_at(self, line: int) -> Optional[LoopInfo]:
-        """The innermost analysed loop whose header is at ``line``."""
-        candidates = [l for l in self.loops if l.start_line == line]
-        return candidates[0] if candidates else None
-
-    def suggestions_of_kind(self, kind: str) -> list[Suggestion]:
-        return [s for s in self.suggestions if s.kind == kind]
-
-    def format_report(self) -> str:
-        from repro.discovery.suggestions import format_suggestions
-
-        return format_suggestions(self.suggestions)
+__all__ = [
+    "MPMD_MIN_COVERAGE",
+    "MPMD_MIN_SPEEDUP",
+    "DiscoveryResult",
+    "FunctionTaskAnalysis",
+    "discover",
+    "discover_source",
+]
 
 
 def discover(
@@ -107,179 +53,14 @@ def discover(
     vm_kwargs: Optional[dict] = None,
 ) -> DiscoveryResult:
     """Run the full three-phase pipeline on a compiled module."""
-    # ---- Phase 1: execute with profiling --------------------------------
-    trace = TraceSink()
-    shadow = (
-        PerfectShadow() if signature_slots is None
-        else SignatureShadow(signature_slots)
+    config = DiscoveryConfig(
+        entry=entry,
+        n_threads=n_threads,
+        signature_slots=signature_slots,
+        keep_trace=keep_trace,
+        vm_kwargs=vm_kwargs or {},
     )
-    profiler = SerialProfiler(shadow)
-    pet = PETBuilder()
-
-    def tee(chunk: list) -> None:
-        trace(chunk)
-        profiler.process_chunk(chunk)
-        pet.process_chunk(chunk)
-
-    vm = VM(module, tee, **(vm_kwargs or {}))
-    profiler.sig_decoder = vm.loop_signature
-    return_value = vm.run(entry)
-
-    # ---- Phase 2: CUs + detection ----------------------------------------
-    builder = TopDownBuilder(module)
-    builder.process(trace.events())
-    registry = builder.build()
-    total_instructions = sum(builder.line_counts.values())
-
-    loops = analyze_loops(
-        module, profiler.store, registry, profiler.control, builder.line_counts
-    )
-
-    from repro.discovery.tasks import _call_sites
-
-    def _analyze_container(name: str, region) -> FunctionTaskAnalysis:
-        anchored_prof = SerialProfiler(PerfectShadow(), vm.loop_signature)
-        # anchored line counts attribute a call's entire dynamic subtree to
-        # its call site — the work a task node really carries
-        anchored_counts: dict[int, int] = {}
-
-        def tally(events):
-            for ev in events:
-                if ev[0] in ("R", "W"):
-                    line = ev[2]
-                    anchored_counts[line] = anchored_counts.get(line, 0) + 1
-                yield ev
-
-        anchored_prof.process_chunk(
-            tally(anchor_events(trace.events(), module, region))
-        )
-        # each call site becomes its own CU: calls are the task units
-        call_lines = frozenset(_call_sites(module, region))
-        graph = build_cu_graph(
-            registry,
-            anchored_prof.store,
-            module,
-            region,
-            isolate_lines=call_lines,
-            line_counts=anchored_counts,
-        )
-        return FunctionTaskAnalysis(
-            func=name,
-            region_id=region.region_id,
-            anchored_store=anchored_prof.store,
-            cu_graph=graph,
-            spmd_groups=find_spmd_tasks(
-                module, region, graph, anchored_prof.store
-            ),
-            task_graph=find_mpmd_tasks(graph, region),
-        )
-
-    functions: dict[str, FunctionTaskAnalysis] = {}
-    for name, func in module.functions.items():
-        region = module.regions.get(func.region_id)
-        if region is None or region.region_id not in registry.by_region:
-            continue  # never executed
-        functions[name] = _analyze_container(name, region)
-
-    # loop bodies containing call sites are task containers too (the
-    # FaceDetection frame loop of Fig. 4.10 is the canonical case)
-    from repro.discovery.tasks import _call_sites
-
-    loop_tasks: dict = {}
-    for region in module.loops():
-        if region.region_id not in registry.by_region:
-            continue
-        if not _call_sites(module, region):
-            continue
-        loop_tasks[region.region_id] = _analyze_container(
-            region.func, region
-        )
-
-    # ---- Phase 3: suggestions + ranking ----------------------------------
-    suggestions: list[Suggestion] = []
-    for info in loops:
-        if not info.is_parallelizable:
-            continue
-        region = module.regions[info.region_id]
-        body_work = [
-            cu.instructions
-            for cu in container_cus(
-                registry, module, region, builder.line_counts
-            )
-        ]
-        scores = score_loop(info, total_instructions, n_threads, body_work)
-        suggestions.append(
-            Suggestion(
-                kind=info.classification,
-                func=info.func,
-                start_line=info.start_line,
-                end_line=info.end_line,
-                scores=scores,
-                loop=info,
-            )
-        )
-    for analysis in list(functions.values()) + list(loop_tasks.values()):
-        region = module.regions[analysis.region_id]
-        for group in analysis.spmd_groups:
-            if not group.independent:
-                continue
-            scores = RankingScores(
-                instruction_coverage=min(
-                    1.0,
-                    sum(
-                        analysis.cu_graph.cu(c).instructions
-                        for c in group.cu_ids
-                    )
-                    / max(1, total_instructions),
-                ),
-                local_speedup=float(min(n_threads, len(group.call_lines))),
-                cu_imbalance=0.0,
-            )
-            suggestions.append(
-                Suggestion(
-                    kind="SPMD",
-                    func=analysis.func,
-                    start_line=min(group.call_lines),
-                    end_line=max(group.call_lines),
-                    scores=scores,
-                    spmd=group,
-                )
-            )
-        tg = analysis.task_graph
-        if tg is not None and tg.width >= 2 and len(tg.nodes) >= 2:
-            scores = score_task_graph(tg, total_instructions, n_threads)
-            if (
-                tg.inherent_speedup >= MPMD_MIN_SPEEDUP
-                and scores.instruction_coverage >= MPMD_MIN_COVERAGE
-            ):
-                suggestions.append(
-                    Suggestion(
-                        kind="MPMD",
-                        func=analysis.func,
-                        start_line=region.start_line,
-                        end_line=region.end_line,
-                        scores=scores,
-                        task_graph=tg,
-                    )
-                )
-
-    suggestions = rank_suggestions(suggestions)
-    return DiscoveryResult(
-        module=module,
-        return_value=return_value,
-        store=profiler.store,
-        control=profiler.control,
-        registry=registry,
-        line_counts=builder.line_counts,
-        total_instructions=total_instructions,
-        loops=loops,
-        functions=functions,
-        suggestions=suggestions,
-        pet=pet,
-        loop_tasks=loop_tasks,
-        trace=trace if keep_trace else None,
-        vm=vm,
-    )
+    return DiscoveryEngine(module, config).run()
 
 
 def discover_source(source: str, **kwargs) -> DiscoveryResult:

@@ -42,6 +42,17 @@ class RankingScores:
             / (1.0 + self.cu_imbalance)
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "instruction_coverage": self.instruction_coverage,
+            "local_speedup": self.local_speedup,
+            "cu_imbalance": self.cu_imbalance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RankingScores":
+        return cls(**data)
+
 
 def instruction_coverage(region_instructions: int, total_instructions: int) -> float:
     if total_instructions <= 0:

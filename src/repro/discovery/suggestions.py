@@ -28,6 +28,48 @@ class Suggestion:
     def location(self) -> str:
         return f"{self.func}:{self.start_line}-{self.end_line}"
 
+    def to_dict(self) -> dict:
+        """Stable JSON form; nested artefacts serialize recursively."""
+        return {
+            "kind": self.kind,
+            "func": self.func,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "scores": self.scores.to_dict() if self.scores else None,
+            "loop": self.loop.to_dict() if self.loop else None,
+            "spmd": self.spmd.to_dict() if self.spmd else None,
+            "task_graph": (
+                self.task_graph.to_dict() if self.task_graph else None
+            ),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Suggestion":
+        return cls(
+            kind=data["kind"],
+            func=data["func"],
+            start_line=data["start_line"],
+            end_line=data["end_line"],
+            scores=(
+                RankingScores.from_dict(data["scores"])
+                if data["scores"]
+                else None
+            ),
+            loop=LoopInfo.from_dict(data["loop"]) if data["loop"] else None,
+            spmd=(
+                SPMDTaskGroup.from_dict(data["spmd"])
+                if data["spmd"]
+                else None
+            ),
+            task_graph=(
+                TaskGraph.from_dict(data["task_graph"])
+                if data["task_graph"]
+                else None
+            ),
+            notes=list(data["notes"]),
+        )
+
     def render(self) -> str:
         """Human-readable one-suggestion block, OpenMP-flavoured."""
         lines = [f"[{self.kind}] {self.location}"]

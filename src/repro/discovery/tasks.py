@@ -39,6 +39,29 @@ class SPMDTaskGroup:
     #: lines blocking independence (RAW paths between call sites), if any
     blockers: list[tuple] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        return {
+            "callee": self.callee,
+            "container_region": self.container_region,
+            "call_lines": list(self.call_lines),
+            "cu_ids": list(self.cu_ids),
+            "is_recursive": self.is_recursive,
+            "independent": self.independent,
+            "blockers": [list(b) for b in self.blockers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SPMDTaskGroup":
+        return cls(
+            callee=data["callee"],
+            container_region=data["container_region"],
+            call_lines=list(data["call_lines"]),
+            cu_ids=list(data["cu_ids"]),
+            is_recursive=data["is_recursive"],
+            independent=data["independent"],
+            blockers=[tuple(b) for b in data["blockers"]],
+        )
+
 
 @dataclass
 class TaskNode:
@@ -54,6 +77,23 @@ class TaskNode:
         lo = min(self.lines) if self.lines else 0
         hi = max(self.lines) if self.lines else 0
         return f"T{self.node_id}[{lo}-{hi}]"
+
+    def to_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "cu_ids": list(self.cu_ids),
+            "lines": sorted(self.lines),
+            "work": self.work,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskNode":
+        return cls(
+            node_id=data["node_id"],
+            cu_ids=list(data["cu_ids"]),
+            lines=set(data["lines"]),
+            work=data["work"],
+        )
 
 
 @dataclass
@@ -106,13 +146,28 @@ class TaskGraph:
         cp = self.critical_path_work
         return self.total_work / cp if cp else 1.0
 
+    def to_dict(self) -> dict:
+        return {
+            "nodes": [n.to_dict() for n in self.nodes],
+            "edges": sorted(list(e) for e in self.edges),
+            "container_region": self.container_region,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskGraph":
+        return cls(
+            nodes=[TaskNode.from_dict(n) for n in data["nodes"]],
+            edges={tuple(e) for e in data["edges"]},
+            container_region=data["container_region"],
+        )
+
 
 # ---------------------------------------------------------------------------
 # SPMD
 # ---------------------------------------------------------------------------
 
 
-def _call_sites(module: Module, region: Region) -> dict[int, str]:
+def call_sites(module: Module, region: Region) -> dict[int, str]:
     """line -> callee for calls lexically inside the region."""
     func = module.functions.get(region.func)
     if func is None:
@@ -124,6 +179,10 @@ def _call_sites(module: Module, region: Region) -> dict[int, str]:
         ):
             out[instr.line] = instr.a
     return out
+
+
+#: backwards-compatible alias (the name predates the public API)
+_call_sites = call_sites
 
 
 def find_spmd_tasks(
@@ -142,8 +201,8 @@ def find_spmd_tasks(
     either direction) serialises them; a joint successor (the combine step
     reading both results) does not — it is the task-wait point.
     """
-    call_sites = _call_sites(module, region)
-    if not call_sites:
+    sites = call_sites(module, region)
+    if not sites:
         return []
 
     # line-level RAW reachability (sink -> source = "depends on")
@@ -171,7 +230,7 @@ def find_spmd_tasks(
         )
 
     by_callee: dict[str, list[int]] = {}
-    for line, callee in sorted(call_sites.items()):
+    for line, callee in sorted(sites.items()):
         by_callee.setdefault(callee, []).append(line)
 
     groups: list[SPMDTaskGroup] = []

@@ -1,0 +1,57 @@
+"""Staged discovery engine — the re-entrant public API.
+
+::
+
+    from repro.engine import DiscoveryEngine
+
+    engine = DiscoveryEngine.from_source(source)
+    engine.profile()        # Phase 1: one instrumented execution
+    engine.build_cus()      # Phase 2a: CU construction over the trace
+    engine.detect()         # Phase 2b: DOALL/DOACROSS + SPMD/MPMD detection
+    engine.rank(n_threads=8)   # Phase 3: cheap, re-runnable per thread count
+    result = engine.run()   # assembled DiscoveryResult (all phases cached)
+
+Every phase returns a typed artifact with a stable ``to_dict`` /
+``from_dict`` JSON round-trip (:mod:`repro.engine.artifacts`), and
+:mod:`repro.engine.batch` fans full runs across a process pool.
+"""
+
+from repro.engine.artifacts import (
+    ARTIFACT_KINDS,
+    CUArtifact,
+    DetectArtifact,
+    DiscoveryResult,
+    FunctionTaskAnalysis,
+    ProfileArtifact,
+    RankArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.engine.batch import (
+    format_batch_table,
+    job_for_source,
+    job_for_workload,
+    run_batch,
+    run_job,
+)
+from repro.engine.config import DiscoveryConfig
+from repro.engine.core import DiscoveryEngine
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "CUArtifact",
+    "DetectArtifact",
+    "DiscoveryConfig",
+    "DiscoveryEngine",
+    "DiscoveryResult",
+    "FunctionTaskAnalysis",
+    "ProfileArtifact",
+    "RankArtifact",
+    "format_batch_table",
+    "job_for_source",
+    "job_for_workload",
+    "load_artifact",
+    "run_batch",
+    "run_job",
+    "save_artifact",
+]

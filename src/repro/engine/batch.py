@@ -1,0 +1,129 @@
+"""Batch discovery over many workloads (the ``repro batch`` backend).
+
+Fans a list of jobs — registry workload names or raw MiniC sources — across
+a :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker runs a full
+:class:`~repro.engine.core.DiscoveryEngine` pipeline and returns a compact
+JSON-ready summary row, so a fleet of programs can be analysed in one
+command and the rows aggregated without holding every trace in memory.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional
+
+from repro.engine.config import DiscoveryConfig
+from repro.engine.core import DiscoveryEngine
+
+
+def job_for_workload(
+    name: str, scale: int = 1, **overrides
+) -> dict:
+    """A batch job dict referencing a registry workload by name."""
+    return {"workload": name, "scale": scale, "overrides": overrides}
+
+
+def job_for_source(
+    source: str, name: str = "<source>", **overrides
+) -> dict:
+    """A batch job dict carrying raw MiniC source text."""
+    return {"source": source, "name": name, "overrides": overrides}
+
+
+def run_job(job: dict) -> dict:
+    """Run one batch job to completion; never raises (errors become rows)."""
+    t0 = time.perf_counter()
+    name = job.get("workload") or job.get("name", "<source>")
+    row = {"name": name, "ok": False}
+    try:
+        if "workload" in job:
+            from repro.workloads import get_workload
+
+            workload = get_workload(job["workload"])
+            config = DiscoveryConfig(
+                source=workload.source(job.get("scale", 1)),
+                name=job["workload"],
+                entry=workload.entry,
+                **job.get("overrides", {}),
+            )
+        else:
+            config = DiscoveryConfig(
+                source=job["source"],
+                name=name,
+                **job.get("overrides", {}),
+            )
+        result = DiscoveryEngine(config=config).run()
+    except Exception as exc:  # a bad job must not sink the whole batch
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        row["traceback"] = traceback.format_exc()
+    else:
+        top = result.suggestions[0] if result.suggestions else None
+        row.update(
+            ok=True,
+            return_value=result.return_value,
+            n_threads=result.n_threads,
+            total_instructions=result.total_instructions,
+            deps=len(result.store),
+            loops=len(result.loops),
+            parallelizable_loops=sum(
+                1 for info in result.loops if info.is_parallelizable
+            ),
+            suggestions=len(result.suggestions),
+            kinds=sorted({s.kind for s in result.suggestions}),
+            top=(
+                {
+                    "kind": top.kind,
+                    "location": top.location,
+                    "score": top.scores.combined if top.scores else 0.0,
+                }
+                if top
+                else None
+            ),
+        )
+    row["seconds"] = round(time.perf_counter() - t0, 3)
+    return row
+
+
+def run_batch(
+    jobs: Iterable[dict],
+    *,
+    jobs_parallel: Optional[int] = None,
+) -> list[dict]:
+    """Run every job; ``jobs_parallel`` > 1 uses a process pool.
+
+    Rows come back in submission order regardless of completion order.
+    """
+    jobs = list(jobs)
+    if jobs_parallel is None:
+        jobs_parallel = min(len(jobs), 4) or 1
+    if jobs_parallel <= 1 or len(jobs) <= 1:
+        return [run_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=jobs_parallel) as pool:
+        return list(pool.map(run_job, jobs))
+
+
+def format_batch_table(rows: list[dict]) -> str:
+    """Render batch rows as an aligned text table."""
+    header = (
+        f"{'workload':<16} {'ok':<3} {'loops':>5} {'par':>4} "
+        f"{'sugg':>4} {'deps':>6} {'top suggestion':<32} {'s':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row["ok"]:
+            top = row["top"]
+            top_txt = (
+                f"{top['kind']} {top['location']}" if top else "(none)"
+            )
+            lines.append(
+                f"{row['name']:<16} {'y':<3} {row['loops']:>5} "
+                f"{row['parallelizable_loops']:>4} {row['suggestions']:>4} "
+                f"{row['deps']:>6} {top_txt:<32} {row['seconds']:>6.2f}"
+            )
+        else:
+            lines.append(
+                f"{row['name']:<16} {'n':<3} {row['error']}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Discovery configuration.
+
+:class:`DiscoveryConfig` replaces the loose keyword soup (``entry``,
+``n_threads``, ``signature_slots``, ``vm_kwargs``, ...) that the old
+monolithic ``discover()`` call threaded through every layer.  A config is a
+plain value object: JSON-serializable, hashable enough to key batch runs,
+and safe to ship across process boundaries for the batch runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class DiscoveryConfig:
+    """Everything a :class:`~repro.engine.core.DiscoveryEngine` run needs.
+
+    ``source`` is optional — an engine can also be built from an
+    already-compiled :class:`~repro.mir.module.Module` — but batch workers
+    and ``from_dict`` round-trips carry the source text so a config alone
+    fully describes a run.
+    """
+
+    #: MiniC source text (optional when a compiled Module is supplied)
+    source: Optional[str] = None
+    #: display name for reports / batch rows
+    name: str = "<source>"
+    #: entry function executed by the profiling VM
+    entry: str = "main"
+    #: thread count assumed by the ranking phase
+    n_threads: int = 4
+    #: signature shadow size; None selects the exact PerfectShadow baseline
+    signature_slots: Optional[int] = None
+    #: enable the §2.4 skipping optimization in the profiler
+    skip_loops: bool = False
+    #: keep the full event trace on the assembled DiscoveryResult
+    keep_trace: bool = False
+    #: VM random seed (convenience; folded into vm_kwargs)
+    seed: Optional[int] = None
+    #: extra VM constructor keywords (quantum, instrument, ...)
+    vm_kwargs: dict = field(default_factory=dict)
+
+    def replace(self, **changes) -> "DiscoveryConfig":
+        """A copy with the given fields changed (dataclasses.replace)."""
+        return replace(self, **changes)
+
+    def resolved_vm_kwargs(self) -> dict:
+        kwargs = dict(self.vm_kwargs)
+        if self.seed is not None:
+            kwargs.setdefault("seed", self.seed)
+        return kwargs
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "name": self.name,
+            "entry": self.entry,
+            "n_threads": self.n_threads,
+            "signature_slots": self.signature_slots,
+            "skip_loops": self.skip_loops,
+            "keep_trace": self.keep_trace,
+            "seed": self.seed,
+            "vm_kwargs": dict(self.vm_kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiscoveryConfig":
+        return cls(
+            source=data.get("source"),
+            name=data.get("name", "<source>"),
+            entry=data.get("entry", "main"),
+            n_threads=data.get("n_threads", 4),
+            signature_slots=data.get("signature_slots"),
+            skip_loops=data.get("skip_loops", False),
+            keep_trace=data.get("keep_trace", False),
+            seed=data.get("seed"),
+            vm_kwargs=dict(data.get("vm_kwargs") or {}),
+        )

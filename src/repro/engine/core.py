@@ -1,0 +1,382 @@
+"""The staged discovery engine (Fig. 1.3, re-entrant).
+
+The paper's pipeline is conceptually staged — profile → CU construction →
+detection → ranking — and :class:`DiscoveryEngine` exposes exactly those
+stages as independently runnable, cached phases:
+
+* :meth:`DiscoveryEngine.profile`   — Phase 1: execute the instrumented VM,
+  collect the trace, merged dependences and the PET.  The only phase that
+  runs the program; ``vm_runs`` counts its executions.
+* :meth:`DiscoveryEngine.build_cus` — Phase 2a: top-down CU construction
+  over the recorded trace.
+* :meth:`DiscoveryEngine.detect`    — Phase 2b: loop classification (DOALL /
+  DOACROSS) and SPMD/MPMD task detection per container.
+* :meth:`DiscoveryEngine.rank`      — Phase 3: score + order suggestions for
+  a thread count.  Cheap: re-ranking for a new ``n_threads`` reuses every
+  cached upstream phase without re-executing the VM.
+
+Each phase returns a typed artifact (:mod:`repro.engine.artifacts`) and
+caches it on the engine; ``force=True`` re-runs a phase and invalidates its
+downstream caches.  :meth:`DiscoveryEngine.run` assembles the classic
+:class:`~repro.engine.artifacts.DiscoveryResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cu.graph import build_cu_graph, container_cus
+from repro.cu.topdown import TopDownBuilder
+from repro.discovery.lifting import anchor_events
+from repro.discovery.loops import analyze_loops
+from repro.discovery.ranking import (
+    RankingScores,
+    rank_suggestions,
+    score_loop,
+    score_task_graph,
+)
+from repro.discovery.suggestions import Suggestion
+from repro.discovery.tasks import call_sites, find_mpmd_tasks, find_spmd_tasks
+from repro.engine.artifacts import (
+    CUArtifact,
+    DetectArtifact,
+    DiscoveryResult,
+    FunctionTaskAnalysis,
+    ProfileArtifact,
+    RankArtifact,
+)
+from repro.engine.config import DiscoveryConfig
+from repro.mir.lowering import compile_source
+from repro.mir.module import Module
+from repro.profiler.pet import PETBuilder
+from repro.profiler.serial import SerialProfiler
+from repro.profiler.shadow import PerfectShadow, SignatureShadow
+from repro.profiler.skipping import SkippingProfiler
+from repro.runtime.events import TraceSink
+from repro.runtime.interpreter import VM
+
+#: a task graph must promise at least this inherent speedup to be suggested
+MPMD_MIN_SPEEDUP = 1.2
+#: and represent at least this fraction of the program's work
+MPMD_MIN_COVERAGE = 0.01
+
+
+class DiscoveryEngine:
+    """Staged, re-entrant front door to the discovery pipeline."""
+
+    def __init__(
+        self,
+        module: Optional[Module] = None,
+        config: Optional[DiscoveryConfig] = None,
+        **overrides,
+    ) -> None:
+        if config is None:
+            config = DiscoveryConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        if module is None:
+            if config.source is None:
+                raise ValueError(
+                    "DiscoveryEngine needs a compiled module or a config "
+                    "with source text"
+                )
+            module = compile_source(config.source, name=config.name)
+        self.module = module
+        #: number of instrumented VM executions (the expensive phase)
+        self.vm_runs = 0
+        self._profile: Optional[ProfileArtifact] = None
+        self._cus: Optional[CUArtifact] = None
+        self._detect: Optional[DetectArtifact] = None
+        self._rank: Optional[RankArtifact] = None
+
+    @classmethod
+    def from_source(cls, source: str, **overrides) -> "DiscoveryEngine":
+        """Build an engine straight from MiniC source text."""
+        return cls(config=DiscoveryConfig(source=source, **overrides))
+
+    # ------------------------------------------------------------------
+    # Phase 1: profile
+    # ------------------------------------------------------------------
+
+    def profile(self, *, force: bool = False) -> ProfileArtifact:
+        """Execute the instrumented VM once; cache trace + dependences."""
+        if self._profile is None or force:
+            self._profile = self._run_profile()
+            self._cus = self._detect = self._rank = None
+        return self._profile
+
+    def _run_profile(self) -> ProfileArtifact:
+        config = self.config
+        trace = TraceSink()
+        shadow = (
+            PerfectShadow()
+            if config.signature_slots is None
+            else SignatureShadow(config.signature_slots)
+        )
+        profiler = SerialProfiler(shadow)
+        prof_sink = (
+            SkippingProfiler(profiler) if config.skip_loops else profiler
+        )
+        pet = PETBuilder()
+
+        def tee(chunk: list) -> None:
+            trace(chunk)
+            prof_sink(chunk)
+            pet.process_chunk(chunk)
+
+        vm = VM(self.module, tee, **config.resolved_vm_kwargs())
+        prof_sink.sig_decoder = vm.loop_signature
+        self.vm_runs += 1
+        return_value = vm.run(config.entry)
+        return ProfileArtifact(
+            return_value=return_value,
+            store=profiler.store,
+            control=profiler.control,
+            stats={
+                "reads": profiler.stats.reads,
+                "writes": profiler.stats.writes,
+                "accesses": profiler.stats.accesses,
+                "deps": len(profiler.store),
+                "raw_occurrences": profiler.store.raw_occurrences,
+            },
+            module=self.module,
+            trace=trace,
+            pet=pet,
+            vm=vm,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2a: CU construction
+    # ------------------------------------------------------------------
+
+    def build_cus(self, *, force: bool = False) -> CUArtifact:
+        """Top-down CU construction over the cached trace."""
+        if self._cus is None or force:
+            profile = self.profile()
+            builder = TopDownBuilder(self.module)
+            builder.process(profile.trace.events())
+            registry = builder.build()
+            self._cus = CUArtifact(
+                registry=registry,
+                line_counts=builder.line_counts,
+                total_instructions=sum(builder.line_counts.values()),
+            )
+            self._detect = self._rank = None
+        return self._cus
+
+    # ------------------------------------------------------------------
+    # Phase 2b: detection
+    # ------------------------------------------------------------------
+
+    def detect(self, *, force: bool = False) -> DetectArtifact:
+        """Loop classification + per-container task detection."""
+        if self._detect is None or force:
+            profile = self.profile()
+            cus = self.build_cus()
+            module = self.module
+            registry = cus.registry
+
+            loops = analyze_loops(
+                module,
+                profile.store,
+                registry,
+                profile.control,
+                cus.line_counts,
+            )
+
+            functions: dict[str, FunctionTaskAnalysis] = {}
+            for name, func in module.functions.items():
+                region = module.regions.get(func.region_id)
+                if region is None or region.region_id not in registry.by_region:
+                    continue  # never executed
+                functions[name] = self._analyze_container(name, region)
+
+            # loop bodies containing call sites are task containers too (the
+            # FaceDetection frame loop of Fig. 4.10 is the canonical case)
+            loop_tasks: dict[int, FunctionTaskAnalysis] = {}
+            for region in module.loops():
+                if region.region_id not in registry.by_region:
+                    continue
+                if not call_sites(module, region):
+                    continue
+                loop_tasks[region.region_id] = self._analyze_container(
+                    region.func, region
+                )
+
+            self._detect = DetectArtifact(
+                loops=loops, functions=functions, loop_tasks=loop_tasks
+            )
+            self._rank = None
+        return self._detect
+
+    def _analyze_container(self, name: str, region) -> FunctionTaskAnalysis:
+        profile = self.profile()
+        cus = self.build_cus()
+        module = self.module
+        anchored_prof = SerialProfiler(
+            PerfectShadow(), profile.vm.loop_signature
+        )
+        # anchored line counts attribute a call's entire dynamic subtree to
+        # its call site — the work a task node really carries
+        anchored_counts: dict[int, int] = {}
+
+        def tally(events):
+            for ev in events:
+                if ev[0] in ("R", "W"):
+                    line = ev[2]
+                    anchored_counts[line] = anchored_counts.get(line, 0) + 1
+                yield ev
+
+        anchored_prof.process_chunk(
+            tally(anchor_events(profile.trace.events(), module, region))
+        )
+        # each call site becomes its own CU: calls are the task units
+        call_lines = frozenset(call_sites(module, region))
+        graph = build_cu_graph(
+            cus.registry,
+            anchored_prof.store,
+            module,
+            region,
+            isolate_lines=call_lines,
+            line_counts=anchored_counts,
+        )
+        return FunctionTaskAnalysis(
+            func=name,
+            region_id=region.region_id,
+            anchored_store=anchored_prof.store,
+            cu_graph=graph,
+            spmd_groups=find_spmd_tasks(
+                module, region, graph, anchored_prof.store
+            ),
+            task_graph=find_mpmd_tasks(graph, region),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 3: ranking
+    # ------------------------------------------------------------------
+
+    def rank(
+        self, n_threads: Optional[int] = None, *, force: bool = False
+    ) -> RankArtifact:
+        """Score and order suggestions; cheap to re-run per thread count."""
+        n = n_threads if n_threads is not None else self.config.n_threads
+        if self._rank is None or force or self._rank.n_threads != n:
+            self._rank = self._run_rank(n)
+        return self._rank
+
+    def _run_rank(self, n_threads: int) -> RankArtifact:
+        cus = self.build_cus()
+        detect = self.detect()
+        module = self.module
+        registry = cus.registry
+        total_instructions = cus.total_instructions
+
+        suggestions: list[Suggestion] = []
+        for info in detect.loops:
+            if not info.is_parallelizable:
+                continue
+            region = module.regions[info.region_id]
+            body_work = [
+                cu.instructions
+                for cu in container_cus(
+                    registry, module, region, cus.line_counts
+                )
+            ]
+            scores = score_loop(
+                info, total_instructions, n_threads, body_work
+            )
+            suggestions.append(
+                Suggestion(
+                    kind=info.classification,
+                    func=info.func,
+                    start_line=info.start_line,
+                    end_line=info.end_line,
+                    scores=scores,
+                    loop=info,
+                )
+            )
+        analyses = list(detect.functions.values()) + list(
+            detect.loop_tasks.values()
+        )
+        for analysis in analyses:
+            region = module.regions[analysis.region_id]
+            for group in analysis.spmd_groups:
+                if not group.independent:
+                    continue
+                scores = RankingScores(
+                    instruction_coverage=min(
+                        1.0,
+                        sum(
+                            analysis.cu_graph.cu(c).instructions
+                            for c in group.cu_ids
+                        )
+                        / max(1, total_instructions),
+                    ),
+                    local_speedup=float(
+                        min(n_threads, len(group.call_lines))
+                    ),
+                    cu_imbalance=0.0,
+                )
+                suggestions.append(
+                    Suggestion(
+                        kind="SPMD",
+                        func=analysis.func,
+                        start_line=min(group.call_lines),
+                        end_line=max(group.call_lines),
+                        scores=scores,
+                        spmd=group,
+                    )
+                )
+            tg = analysis.task_graph
+            if tg is not None and tg.width >= 2 and len(tg.nodes) >= 2:
+                scores = score_task_graph(tg, total_instructions, n_threads)
+                if (
+                    tg.inherent_speedup >= MPMD_MIN_SPEEDUP
+                    and scores.instruction_coverage >= MPMD_MIN_COVERAGE
+                ):
+                    suggestions.append(
+                        Suggestion(
+                            kind="MPMD",
+                            func=analysis.func,
+                            start_line=region.start_line,
+                            end_line=region.end_line,
+                            scores=scores,
+                            task_graph=tg,
+                        )
+                    )
+
+        return RankArtifact(
+            n_threads=n_threads, suggestions=rank_suggestions(suggestions)
+        )
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+
+    def run(self, n_threads: Optional[int] = None) -> DiscoveryResult:
+        """Run (or reuse) every phase and assemble a DiscoveryResult."""
+        profile = self.profile()
+        cus = self.build_cus()
+        detect = self.detect()
+        ranked = self.rank(n_threads)
+        return DiscoveryResult(
+            module=self.module,
+            return_value=profile.return_value,
+            store=profile.store,
+            control=profile.control,
+            registry=cus.registry,
+            line_counts=cus.line_counts,
+            total_instructions=cus.total_instructions,
+            loops=detect.loops,
+            functions=detect.functions,
+            suggestions=ranked.suggestions,
+            pet=profile.pet,
+            loop_tasks=detect.loop_tasks,
+            trace=profile.trace if self.config.keep_trace else None,
+            vm=profile.vm,
+            n_threads=ranked.n_threads,
+        )
+
+    #: alias mirroring the legacy function name
+    discover = run

@@ -66,6 +66,36 @@ class Dependence:
             return f"{{{self.type} 1:{self.source_line}|{self.source_tid}|{self.var}}}"
         return f"{{{self.type} 1:{self.source_line}|{self.var}}}"
 
+    def to_dict(self) -> dict:
+        """Stable JSON-serializable form (sets become sorted lists)."""
+        return {
+            "sink_line": self.sink_line,
+            "type": self.type,
+            "source_line": self.source_line,
+            "var": self.var,
+            "loop_carried": self.loop_carried,
+            "sink_tid": self.sink_tid,
+            "source_tid": self.source_tid,
+            "count": self.count,
+            "carriers": sorted(self.carriers),
+            "maybe_race": self.maybe_race,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Dependence":
+        return cls(
+            sink_line=data["sink_line"],
+            type=data["type"],
+            source_line=data["source_line"],
+            var=data["var"],
+            loop_carried=data["loop_carried"],
+            sink_tid=data["sink_tid"],
+            source_tid=data["source_tid"],
+            count=data["count"],
+            carriers=set(data["carriers"]),
+            maybe_race=data["maybe_race"],
+        )
+
 
 class DependenceStore:
     """Merged dependence set with per-sink aggregation (§2.3.5).
@@ -194,6 +224,24 @@ class DependenceStore:
 
     def involving_var(self, var: str) -> list[Dependence]:
         return [d for d in self.all() if d.var == var]
+
+    def to_dict(self) -> dict:
+        """Stable JSON-serializable form of the merged store."""
+        return {
+            "deps": [d.to_dict() for d in self.all()],
+            "init_lines": sorted(self.init_lines),
+            "raw_occurrences": self.raw_occurrences,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DependenceStore":
+        store = cls()
+        for entry in data["deps"]:
+            dep = Dependence.from_dict(entry)
+            store._deps[dep.key] = dep
+        store.init_lines = set(data["init_lines"])
+        store.raw_occurrences = data["raw_occurrences"]
+        return store
 
     def memory_bytes(self) -> int:
         """Rough resident size of the merged map (for the memory figures)."""

@@ -66,6 +66,20 @@ class ControlRecord:
     executions: int = 0
     total_iterations: int = 0
 
+    def to_dict(self) -> dict:
+        return {
+            "region_id": self.region_id,
+            "kind": self.kind,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "executions": self.executions,
+            "total_iterations": self.total_iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControlRecord":
+        return cls(**data)
+
 
 @dataclass
 class ProfileStats:
