@@ -1,0 +1,38 @@
+"""Event-pipeline bench: packed columnar chunks vs. legacy tuple events.
+
+Seeds the performance trajectory of the columnar refactor: events/sec
+through the dependence profiler, resident trace bytes per event, and the
+recording peaks, for both chunk formats on three registry workloads.
+Writes ``benchmarks/out/BENCH_pipeline.json`` (the JSON artifact the
+``repro bench`` CLI also produces) plus the house-style text table.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.engine.bench import (
+    DEFAULT_WORKLOADS,
+    format_pipeline_table,
+    run_pipeline_bench,
+)
+
+
+def test_pipeline_throughput(benchmark):
+    result = benchmark.pedantic(
+        run_pipeline_bench,
+        kwargs={"workloads": DEFAULT_WORKLOADS, "reps": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit("BENCH_pipeline", format_pipeline_table(result))
+    (OUT_DIR / "BENCH_pipeline.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    # hard floor of the refactor: identical dependences, and the packed
+    # path must stay comfortably ahead of the tuple path
+    assert result["all_stores_identical"]
+    assert result["throughput_ratio_geomean"] >= 1.5
+    # packed events are 72 bytes; tuple events are several hundred
+    assert result["trace_bytes_ratio_geomean"] >= 1.5

@@ -4,10 +4,12 @@ The unified ``repro`` command drives the staged engine::
 
     repro profile  file.mc [--format json] [--save prof.json]
     repro discover file.mc [--threads 8] [--format json] [--save out.json]
-    repro discover --workload fib --format json
+    repro discover --workload fib --backend parallel --format json
+    repro discover file.mc --spill-trace --max-resident-chunks 8
     repro report   file.mc            # PET + profiling statistics
     repro report   --load out.json    # re-render a saved result, no re-run
     repro batch    fib sort CG --jobs 4 --format json
+    repro bench    [--quick]          # tuple vs columnar event throughput
 
 Every subcommand supports ``--format json`` (machine-readable artifact
 dicts, see :mod:`repro.engine.artifacts`) and ``--save PATH`` to persist
@@ -55,6 +57,34 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=12345)
 
 
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    from repro.profiler.backends import BACKENDS
+
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="serial",
+        help="profiler backend (see repro.profiler.backends)",
+    )
+    parser.add_argument(
+        "--chunk-format",
+        choices=("tuple", "columnar"),
+        default="columnar",
+        help="event chunk representation",
+    )
+    parser.add_argument(
+        "--spill-trace",
+        action="store_true",
+        help="bound trace memory by spilling chunks to disk",
+    )
+    parser.add_argument(
+        "--max-resident-chunks",
+        type=int,
+        default=64,
+        help="resident chunk window when spilling",
+    )
+
+
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format",
@@ -79,6 +109,10 @@ def _config_from_args(args, source: str, name: str):
         signature_slots=args.signature_slots,
         skip_loops=getattr(args, "skip_loops", False),
         seed=args.seed,
+        backend=getattr(args, "backend", "serial"),
+        chunk_format=getattr(args, "chunk_format", "columnar"),
+        spill_trace=getattr(args, "spill_trace", False),
+        max_resident_chunks=getattr(args, "max_resident_chunks", 64),
     )
 
 
@@ -168,6 +202,43 @@ def cmd_discover(args) -> int:
         f"suggestions={len(result.suggestions)}",
         file=sys.stderr,
     )
+    if result.timings:
+        phases = " ".join(
+            f"{phase}={seconds:.3f}s"
+            for phase, seconds in result.timings.items()
+        )
+        print(f"; phases: {phases}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.engine.bench import format_pipeline_table, run_pipeline_bench
+
+    result = run_pipeline_bench(
+        args.workloads or None,
+        scale=args.scale,
+        reps=args.reps,
+        quick=args.quick,
+        chunk_size=args.chunk_size,
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=1))
+    else:
+        print(format_pipeline_table(result))
+    with open(args.save, "w") as handle:
+        json.dump(result, handle, indent=1)
+    print(f"; saved pipeline bench -> {args.save}", file=sys.stderr)
+    if not result["all_stores_identical"]:
+        print("; FAIL: tuple and columnar stores differ", file=sys.stderr)
+        return 1
+    if args.min_ratio and result["throughput_ratio_geomean"] < args.min_ratio:
+        print(
+            f"; FAIL: columnar/tuple throughput geomean "
+            f"{result['throughput_ratio_geomean']:.2f} "
+            f"below required {args.min_ratio:.2f}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -261,6 +332,7 @@ def main(argv=None) -> int:
     p.add_argument("--skip-loops", action="store_true",
                    help="enable the §2.4 skipping optimization")
     _add_run_options(p)
+    _add_pipeline_options(p)
     _add_output_options(p)
     p.set_defaults(func=cmd_profile)
 
@@ -273,8 +345,28 @@ def main(argv=None) -> int:
     p.add_argument("--load", metavar="PATH", default=None,
                    help="re-render a saved discovery result (no re-run)")
     _add_run_options(p)
+    _add_pipeline_options(p)
     _add_output_options(p)
     p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser(
+        "bench", help="event-pipeline bench: tuple vs columnar throughput"
+    )
+    p.add_argument("workloads", nargs="*",
+                   help="registry workloads (default: pi EP fft)")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--reps", type=int, default=3,
+                   help="profiling repetitions per format (best-of)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: fewer reps, enforce --min-ratio")
+    p.add_argument("--chunk-size", type=int, default=4096)
+    p.add_argument("--min-ratio", type=float, default=None,
+                   help="fail if columnar/tuple geomean falls below this "
+                        "(default: 1.5 with --quick, off otherwise)")
+    p.add_argument("--save", metavar="PATH", default="BENCH_pipeline.json",
+                   help="write the JSON result here")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="profiling statistics + PET")
     p.add_argument("source", nargs="?", help="MiniC source file")
@@ -298,6 +390,8 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_batch)
 
     args = parser.parse_args(argv)
+    if args.command == "bench" and args.min_ratio is None:
+        args.min_ratio = 1.5 if args.quick else 0.0
     return args.func(args)
 
 

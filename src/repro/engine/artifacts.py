@@ -32,7 +32,6 @@ from repro.mir.module import Module
 from repro.profiler.deps import DependenceStore
 from repro.profiler.pet import PETBuilder
 from repro.profiler.serial import ControlRecord
-from repro.runtime.events import TraceSink
 from repro.runtime.interpreter import VM
 
 #: to_dict tag -> artifact class, for :func:`load_artifact` dispatch
@@ -79,12 +78,16 @@ class ProfileArtifact:
     return_value: object
     store: DependenceStore
     control: dict
-    #: {"reads": ..., "writes": ..., "accesses": ..., "raw_occurrences": ...}
+    #: {"reads": ..., "writes": ..., "accesses": ..., "raw_occurrences": ...,
+    #:  "backend": ..., "chunk_format": ..., "trace_nbytes": ...}
     stats: dict = field(default_factory=dict)
     module: Optional[Module] = None
-    trace: Optional[TraceSink] = None
+    #: TraceSink or SpillingTraceSink — anything with events()/iter_chunks()
+    trace: Optional[object] = None
     pet: Optional[PETBuilder] = None
     vm: Optional[VM] = None
+    #: the live BackendResult (extras: skip stats, parallel report, ...)
+    backend_result: Optional[object] = None
 
     def to_dict(self) -> dict:
         return {
@@ -259,10 +262,14 @@ class DiscoveryResult:
     #: task analyses for loop bodies that contain call sites (MPMD inside
     #: loops — the Fig. 4.10 FaceDetection shape), keyed by loop region id
     loop_tasks: dict[int, FunctionTaskAnalysis] = field(default_factory=dict)
-    trace: Optional[TraceSink] = None
+    trace: Optional[object] = None
     vm: Optional[VM] = None
     #: thread count the suggestions were ranked for
     n_threads: int = 4
+    #: wall seconds per engine phase (profile/build_cus/detect/rank)
+    timings: dict = field(default_factory=dict)
+    #: Phase-1 statistics (backend name, event counts, trace bytes, ...)
+    profile_stats: dict = field(default_factory=dict)
 
     def loop_at(self, line: int) -> Optional[LoopInfo]:
         """The innermost analysed loop whose header is at ``line``."""
@@ -297,6 +304,8 @@ class DiscoveryResult:
                 for rid, fta in self.loop_tasks.items()
             },
             "suggestions": [s.to_dict() for s in self.suggestions],
+            "timings": dict(self.timings),
+            "profile_stats": dict(self.profile_stats),
         }
 
     @classmethod
@@ -323,6 +332,8 @@ class DiscoveryResult:
                 for rid, fta in data["loop_tasks"].items()
             },
             n_threads=data.get("n_threads", 4),
+            timings=dict(data.get("timings") or {}),
+            profile_stats=dict(data.get("profile_stats") or {}),
         )
 
 

@@ -39,6 +39,20 @@ class DiscoveryConfig:
     keep_trace: bool = False
     #: VM random seed (convenience; folded into vm_kwargs)
     seed: Optional[int] = None
+    #: profiler backend name (see :mod:`repro.profiler.backends`):
+    #: serial | signature | skipping | parallel | any registered name
+    backend: str = "serial"
+    #: extra backend constructor options (n_workers, queue_kind, ...)
+    backend_options: dict = field(default_factory=dict)
+    #: event chunk representation: "columnar" (packed numpy chunks) or
+    #: "tuple" (legacy per-event tuples)
+    chunk_format: str = "columnar"
+    #: bound trace memory: spill all but the newest chunks to disk
+    spill_trace: bool = False
+    #: resident chunk window of the spilling sink
+    max_resident_chunks: int = 64
+    #: where spill segments go (None = a private temp dir)
+    spill_dir: Optional[str] = None
     #: extra VM constructor keywords (quantum, instrument, ...)
     vm_kwargs: dict = field(default_factory=dict)
 
@@ -52,6 +66,20 @@ class DiscoveryConfig:
             kwargs.setdefault("seed", self.seed)
         return kwargs
 
+    def resolved_backend_options(self) -> dict:
+        """Backend constructor options implied by this config.
+
+        ``skip_loops`` is forwarded to every backend so an unsupported
+        combination (e.g. ``parallel`` + skipping) fails loudly instead
+        of silently running without the optimization.
+        """
+        options = dict(self.backend_options)
+        if self.signature_slots is not None:
+            options.setdefault("signature_slots", self.signature_slots)
+        if self.skip_loops:
+            options.setdefault("skip_loops", True)
+        return options
+
     def to_dict(self) -> dict:
         return {
             "source": self.source,
@@ -62,6 +90,12 @@ class DiscoveryConfig:
             "skip_loops": self.skip_loops,
             "keep_trace": self.keep_trace,
             "seed": self.seed,
+            "backend": self.backend,
+            "backend_options": dict(self.backend_options),
+            "chunk_format": self.chunk_format,
+            "spill_trace": self.spill_trace,
+            "max_resident_chunks": self.max_resident_chunks,
+            "spill_dir": self.spill_dir,
             "vm_kwargs": dict(self.vm_kwargs),
         }
 
@@ -76,5 +110,11 @@ class DiscoveryConfig:
             skip_loops=data.get("skip_loops", False),
             keep_trace=data.get("keep_trace", False),
             seed=data.get("seed"),
+            backend=data.get("backend", "serial"),
+            backend_options=dict(data.get("backend_options") or {}),
+            chunk_format=data.get("chunk_format", "columnar"),
+            spill_trace=data.get("spill_trace", False),
+            max_resident_chunks=data.get("max_resident_chunks", 64),
+            spill_dir=data.get("spill_dir"),
             vm_kwargs=dict(data.get("vm_kwargs") or {}),
         )

@@ -48,11 +48,11 @@ from repro.engine.artifacts import (
 from repro.engine.config import DiscoveryConfig
 from repro.mir.lowering import compile_source
 from repro.mir.module import Module
+from repro.profiler.backends import make_backend
 from repro.profiler.pet import PETBuilder
 from repro.profiler.serial import SerialProfiler
-from repro.profiler.shadow import PerfectShadow, SignatureShadow
-from repro.profiler.skipping import SkippingProfiler
-from repro.runtime.events import TraceSink
+from repro.profiler.shadow import PerfectShadow
+from repro.runtime.events import SpillingTraceSink, TraceSink
 from repro.runtime.interpreter import VM
 
 #: a task graph must promise at least this inherent speedup to be suggested
@@ -85,6 +85,8 @@ class DiscoveryEngine:
         self.module = module
         #: number of instrumented VM executions (the expensive phase)
         self.vm_runs = 0
+        #: wall seconds of the most recent run of each phase
+        self.timings: dict[str, float] = {}
         self._profile: Optional[ProfileArtifact] = None
         self._cus: Optional[CUArtifact] = None
         self._detect: Optional[DetectArtifact] = None
@@ -102,48 +104,59 @@ class DiscoveryEngine:
     def profile(self, *, force: bool = False) -> ProfileArtifact:
         """Execute the instrumented VM once; cache trace + dependences."""
         if self._profile is None or force:
+            import time as _time
+
+            t0 = _time.perf_counter()
             self._profile = self._run_profile()
+            self.timings["profile"] = _time.perf_counter() - t0
             self._cus = self._detect = self._rank = None
         return self._profile
 
     def _run_profile(self) -> ProfileArtifact:
         config = self.config
-        trace = TraceSink()
-        shadow = (
-            PerfectShadow()
-            if config.signature_slots is None
-            else SignatureShadow(config.signature_slots)
-        )
-        profiler = SerialProfiler(shadow)
-        prof_sink = (
-            SkippingProfiler(profiler) if config.skip_loops else profiler
+        if config.spill_trace:
+            trace = SpillingTraceSink(
+                config.max_resident_chunks, spill_dir=config.spill_dir
+            )
+        else:
+            trace = TraceSink()
+        backend = make_backend(
+            config.backend, **config.resolved_backend_options()
         )
         pet = PETBuilder()
 
-        def tee(chunk: list) -> None:
+        def tee(chunk) -> None:
             trace(chunk)
-            prof_sink(chunk)
+            backend(chunk)
             pet.process_chunk(chunk)
 
-        vm = VM(self.module, tee, **config.resolved_vm_kwargs())
-        prof_sink.sig_decoder = vm.loop_signature
+        vm = VM(
+            self.module,
+            tee,
+            chunk_format=config.chunk_format,
+            **config.resolved_vm_kwargs(),
+        )
+        backend.sig_decoder = vm.loop_signature
         self.vm_runs += 1
         return_value = vm.run(config.entry)
+        result = backend.finish()
+        stats = dict(result.stats)
+        stats["chunk_format"] = config.chunk_format
+        stats["trace_events"] = trace.n_events
+        stats["trace_nbytes"] = trace.nbytes
+        if isinstance(trace, SpillingTraceSink):
+            stats["spilled_chunks"] = trace.n_spilled_chunks
+            stats["spilled_bytes"] = trace.spilled_bytes
         return ProfileArtifact(
             return_value=return_value,
-            store=profiler.store,
-            control=profiler.control,
-            stats={
-                "reads": profiler.stats.reads,
-                "writes": profiler.stats.writes,
-                "accesses": profiler.stats.accesses,
-                "deps": len(profiler.store),
-                "raw_occurrences": profiler.store.raw_occurrences,
-            },
+            store=result.store,
+            control=result.control,
+            stats=stats,
             module=self.module,
             trace=trace,
             pet=pet,
             vm=vm,
+            backend_result=result,
         )
 
     # ------------------------------------------------------------------
@@ -151,17 +164,26 @@ class DiscoveryEngine:
     # ------------------------------------------------------------------
 
     def build_cus(self, *, force: bool = False) -> CUArtifact:
-        """Top-down CU construction over the cached trace."""
+        """Top-down CU construction over the cached trace.
+
+        Walks the trace chunk-wise: packed chunks take the columnar fast
+        path (vectorized line counts), and a spilling sink re-reads its
+        segments lazily, so the full trace never needs to be resident.
+        """
         if self._cus is None or force:
+            import time as _time
+
             profile = self.profile()
+            t0 = _time.perf_counter()
             builder = TopDownBuilder(self.module)
-            builder.process(profile.trace.events())
+            builder.process_chunks(profile.trace.iter_chunks())
             registry = builder.build()
             self._cus = CUArtifact(
                 registry=registry,
                 line_counts=builder.line_counts,
                 total_instructions=sum(builder.line_counts.values()),
             )
+            self.timings["build_cus"] = _time.perf_counter() - t0
             self._detect = self._rank = None
         return self._cus
 
@@ -172,6 +194,9 @@ class DiscoveryEngine:
     def detect(self, *, force: bool = False) -> DetectArtifact:
         """Loop classification + per-container task detection."""
         if self._detect is None or force:
+            import time as _time
+
+            t0 = _time.perf_counter()
             profile = self.profile()
             cus = self.build_cus()
             module = self.module
@@ -207,6 +232,7 @@ class DiscoveryEngine:
             self._detect = DetectArtifact(
                 loops=loops, functions=functions, loop_tasks=loop_tasks
             )
+            self.timings["detect"] = _time.perf_counter() - t0
             self._rank = None
         return self._detect
 
@@ -262,7 +288,11 @@ class DiscoveryEngine:
         """Score and order suggestions; cheap to re-run per thread count."""
         n = n_threads if n_threads is not None else self.config.n_threads
         if self._rank is None or force or self._rank.n_threads != n:
+            import time as _time
+
+            t0 = _time.perf_counter()
             self._rank = self._run_rank(n)
+            self.timings["rank"] = _time.perf_counter() - t0
         return self._rank
 
     def _run_rank(self, n_threads: int) -> RankArtifact:
@@ -376,6 +406,8 @@ class DiscoveryEngine:
             trace=profile.trace if self.config.keep_trace else None,
             vm=profile.vm,
             n_threads=ranked.n_threads,
+            timings=dict(self.timings),
+            profile_stats=dict(profile.stats),
         )
 
     #: alias mirroring the legacy function name

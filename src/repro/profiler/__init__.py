@@ -18,8 +18,20 @@ Components:
 * :mod:`repro.profiler.races` — timestamp-inversion race flagging (§2.3.4).
 * :mod:`repro.profiler.pet` — the Program Execution Tree (§2.3.6).
 * :mod:`repro.profiler.reportfmt` — the NOM/BGN/END text format of Fig. 2.1.
+* :mod:`repro.profiler.backends` — the backend registry unifying the
+  serial/parallel × perfect/signature × skipping matrix behind one
+  interface, selected via ``DiscoveryConfig.backend``.
 """
 
+from repro.profiler.backends import (
+    BACKENDS,
+    BackendResult,
+    ParallelBackend,
+    ProfilerBackend,
+    SerialBackend,
+    make_backend,
+    register_backend,
+)
 from repro.profiler.deps import (
     DepKey,
     DepType,
@@ -34,6 +46,13 @@ from repro.profiler.pet import PETBuilder, PETNode
 from repro.profiler.reportfmt import format_report, parse_report
 
 __all__ = [
+    "BACKENDS",
+    "BackendResult",
+    "ParallelBackend",
+    "ProfilerBackend",
+    "SerialBackend",
+    "make_backend",
+    "register_backend",
     "DepKey",
     "DepType",
     "Dependence",

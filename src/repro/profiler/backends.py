@@ -1,0 +1,262 @@
+"""Pluggable profiler backends behind one registry.
+
+The profiler grew a matrix of execution strategies — serial vs. parallel
+consumption, perfect vs. signature shadow memory, §2.4 skipping on or off —
+that callers previously wired by hand (pick a shadow, wrap a skipping
+filter, remember which attribute carries the control records).
+:class:`ProfilerBackend` unifies them: a backend is a VM chunk sink with a
+``finish()`` that returns one :class:`BackendResult`, and the registry maps
+the names exposed by ``DiscoveryConfig.backend`` / ``repro discover
+--backend`` onto constructors.
+
+Built-in names:
+
+``serial``
+    :class:`~repro.profiler.serial.SerialProfiler`; ``signature_slots``
+    selects the shadow, ``skip_loops`` wraps the §2.4 filter.
+``signature``
+    serial with a :class:`~repro.profiler.shadow.SignatureShadow`
+    (``signature_slots`` defaults to :data:`DEFAULT_SIGNATURE_SLOTS`).
+``skipping``
+    serial with the skipping filter forced on.
+``parallel``
+    the §2.3.3 producer/consumer profiler (``n_workers`` shards,
+    vectorized ``addr % W`` partitioning on columnar chunks).
+
+Register custom backends with :func:`register_backend`::
+
+    @register_backend("tracing")
+    def _make(options):
+        return MyTracingBackend(**options)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.profiler.deps import DependenceStore
+from repro.profiler.parallel import ParallelProfiler
+from repro.profiler.serial import ControlRecord, SerialProfiler
+from repro.profiler.shadow import PerfectShadow, SignatureShadow
+from repro.profiler.skipping import SkippingProfiler
+
+#: signature size used when the ``signature`` backend is selected without
+#: an explicit ``signature_slots``
+DEFAULT_SIGNATURE_SLOTS = 1 << 16
+
+
+@dataclass
+class BackendResult:
+    """What every backend hands back from :meth:`ProfilerBackend.finish`."""
+
+    store: DependenceStore
+    control: dict[int, ControlRecord] = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+    #: backend-specific extras (skip stats, parallel report, ...)
+    extras: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class ProfilerBackend(Protocol):
+    """A VM chunk sink that can be finished into a :class:`BackendResult`.
+
+    ``sig_decoder`` must be assignable after construction (the VM that
+    owns the loop-signature interning is built after the backend).
+    """
+
+    name: str
+
+    def __call__(self, chunk) -> None: ...
+
+    def finish(self) -> BackendResult: ...
+
+    def memory_bytes(self) -> int: ...
+
+
+class SerialBackend:
+    """Serial profiling: one consumer, optional signature + skipping."""
+
+    def __init__(
+        self,
+        *,
+        signature_slots: Optional[int] = None,
+        skip_loops: bool = False,
+        sig_decoder=None,
+        lifetime_analysis: bool = True,
+        name: str = "serial",
+    ) -> None:
+        self.name = name
+        shadow = (
+            PerfectShadow()
+            if signature_slots is None
+            else SignatureShadow(signature_slots)
+        )
+        self.profiler = SerialProfiler(
+            shadow, sig_decoder, lifetime_analysis=lifetime_analysis
+        )
+        self.sink = (
+            SkippingProfiler(self.profiler) if skip_loops else self.profiler
+        )
+        self.skip_loops = skip_loops
+
+    @property
+    def sig_decoder(self):
+        return self.profiler.sig_decoder
+
+    @sig_decoder.setter
+    def sig_decoder(self, fn) -> None:
+        self.sink.sig_decoder = fn
+
+    def __call__(self, chunk) -> None:
+        self.sink(chunk)
+
+    def finish(self) -> BackendResult:
+        profiler = self.profiler
+        stats = {
+            "backend": self.name,
+            "reads": profiler.stats.reads,
+            "writes": profiler.stats.writes,
+            "accesses": profiler.stats.accesses,
+            "deps": len(profiler.store),
+            "raw_occurrences": profiler.store.raw_occurrences,
+            "evictions": profiler.stats.evictions,
+            "shadow_collisions": profiler.shadow.collisions,
+        }
+        extras: dict = {}
+        if self.skip_loops:
+            extras["skip_stats"] = self.sink.stats
+            stats["skipped"] = self.sink.stats.skipped
+        return BackendResult(
+            store=profiler.store,
+            control=profiler.control,
+            stats=stats,
+            extras=extras,
+        )
+
+    def memory_bytes(self) -> int:
+        return self.sink.memory_bytes()
+
+
+class ParallelBackend:
+    """Sharded profiling (§2.3.3) behind the unified interface."""
+
+    def __init__(
+        self,
+        *,
+        signature_slots: Optional[int] = None,
+        skip_loops: bool = False,
+        sig_decoder=None,
+        n_workers: int = 8,
+        queue_kind: str = "spsc",
+        mode: str = "simulated",
+        lifetime_analysis: bool = True,
+        name: str = "parallel",
+    ) -> None:
+        if skip_loops:
+            # the skipping filter runs producer-side, before sharding
+            raise ValueError(
+                "skip_loops is not supported by the parallel backend yet; "
+                "wrap the serial backend instead"
+            )
+        self.name = name
+        self.profiler = ParallelProfiler(
+            n_workers,
+            signature_slots=signature_slots,
+            sig_decoder=sig_decoder,
+            queue_kind=queue_kind,
+            mode=mode,
+            lifetime_analysis=lifetime_analysis,
+        )
+        self._result: Optional[BackendResult] = None
+
+    @property
+    def sig_decoder(self):
+        return self.profiler.sig_decoder
+
+    @sig_decoder.setter
+    def sig_decoder(self, fn) -> None:
+        self.profiler.sig_decoder = fn
+
+    def __call__(self, chunk) -> None:
+        self.profiler.process_chunk(chunk)
+
+    def finish(self) -> BackendResult:
+        if self._result is None:
+            store = self.profiler.finish()
+            report = self.profiler.report
+            reads = sum(w.stats.reads for w in self.profiler.workers)
+            writes = sum(w.stats.writes for w in self.profiler.workers)
+            self._result = BackendResult(
+                store=store,
+                control=self.profiler.control,
+                stats={
+                    "backend": self.name,
+                    "reads": reads,
+                    "writes": writes,
+                    "accesses": reads + writes,
+                    "deps": len(store),
+                    "raw_occurrences": store.raw_occurrences,
+                    "n_workers": report.n_workers,
+                    "load_imbalance": report.load_imbalance,
+                    "shadow_collisions": sum(
+                        w.shadow.collisions for w in self.profiler.workers
+                    ),
+                },
+                extras={"report": report},
+            )
+        return self._result
+
+    def memory_bytes(self) -> int:
+        return self.profiler.memory_bytes()
+
+
+#: backend name -> factory(options dict) -> ProfilerBackend
+BACKENDS: dict[str, Callable[..., ProfilerBackend]] = {}
+
+
+def register_backend(name: str):
+    """Decorator registering a backend factory under ``name``."""
+
+    def register(factory: Callable[..., ProfilerBackend]):
+        BACKENDS[name] = factory
+        return factory
+
+    return register
+
+
+@register_backend("serial")
+def _serial(**options) -> SerialBackend:
+    return SerialBackend(name="serial", **options)
+
+
+@register_backend("signature")
+def _signature(**options) -> SerialBackend:
+    options.setdefault("signature_slots", DEFAULT_SIGNATURE_SLOTS)
+    return SerialBackend(name="signature", **options)
+
+
+@register_backend("skipping")
+def _skipping(**options) -> SerialBackend:
+    options["skip_loops"] = True
+    return SerialBackend(name="skipping", **options)
+
+
+@register_backend("parallel")
+def _parallel(**options) -> ParallelBackend:
+    return ParallelBackend(name="parallel", **options)
+
+
+def make_backend(name: str, **options) -> ProfilerBackend:
+    """Instantiate a registered backend.
+
+    Unknown options are rejected by the backend constructor, keeping
+    config typos loud.
+    """
+    factory = BACKENDS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown profiler backend {name!r} "
+            f"(registered: {', '.join(sorted(BACKENDS))})"
+        )
+    return factory(**options)

@@ -35,11 +35,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.profiler.deps import DependenceStore
 from repro.profiler.queues import DONE, make_queue
 from repro.profiler.serial import ControlRecord, SerialProfiler
 from repro.profiler.shadow import PerfectShadow, SignatureShadow
-from repro.runtime.events import EV_BGN, EV_END, EV_FREE, EV_READ, EV_WRITE
+from repro.runtime.events import (
+    COL_ADDR,
+    COL_AUX,
+    COL_KIND,
+    COL_LINE,
+    COL_NAME,
+    EV_BGN,
+    EV_END,
+    EV_FREE,
+    EV_READ,
+    EV_WRITE,
+    EventChunk,
+    K_BGN,
+    K_END,
+    K_FREE,
+    K_WRITE,
+)
 
 
 @dataclass
@@ -144,10 +162,85 @@ class ParallelProfiler:
         for worker in self.workers:
             worker.sig_decoder = fn
 
-    def __call__(self, chunk: list) -> None:
+    def __call__(self, chunk) -> None:
         self.process_chunk(chunk)
 
-    def process_chunk(self, chunk: list) -> None:
+    def process_chunk(self, chunk) -> None:
+        if isinstance(chunk, EventChunk):
+            self._process_columnar(chunk)
+        else:
+            self._process_tuples(chunk)
+
+    def _process_columnar(self, chunk: EventChunk) -> None:
+        """Vectorized sharding of a packed chunk (Formula 2.1 on a column).
+
+        ``addr % W`` runs over the whole address column at once; the
+        redistribution overrides — a handful of hot addresses — are then
+        patched in with one boolean mask each.  Each worker receives its
+        shard as a sub-:class:`EventChunk` (order preserved, string table
+        shared), with the chunk's FREE events appended to every non-empty
+        shard exactly like the tuple path broadcasts them.  Workers then
+        profile their shards through the columnar fast path.
+        """
+        rows = chunk.rows
+        n_workers = self.n_workers
+        kinds = rows[:, COL_KIND]
+        mem_mask = kinds <= K_WRITE
+        mem = rows[mem_mask]
+        n_mem = mem.shape[0]
+        free_rows = None
+        other_mask_any = n_mem != rows.shape[0]
+        if other_mask_any:
+            free_rows = rows[kinds == K_FREE]
+            if free_rows.shape[0] == 0:
+                free_rows = None
+            # control records (BGN/END aggregate in the producer)
+            ctrl_idx = np.nonzero((kinds == K_BGN) | (kinds == K_END))[0]
+            if ctrl_idx.shape[0]:
+                names = chunk.strings.values
+                for row in rows[ctrl_idx].tolist():
+                    rec = self.control.get(row[COL_ADDR])
+                    if rec is None:
+                        rec = ControlRecord(
+                            row[COL_ADDR], names[row[COL_NAME]],
+                            row[COL_LINE], row[COL_LINE],
+                        )
+                        self.control[row[COL_ADDR]] = rec
+                    if row[COL_KIND] == K_BGN:
+                        rec.executions += 1
+                    else:
+                        rec.end_line = max(rec.end_line, row[COL_LINE])
+                        rec.total_iterations += row[COL_AUX]
+        workers = None
+        if n_mem:
+            addrs = mem[:, COL_ADDR]
+            workers = addrs % n_workers
+            for addr, worker in self._override.items():
+                workers[addrs == addr] = worker
+            # per-address access counts for the load balancer, vectorized
+            uniq, counts = np.unique(addrs, return_counts=True)
+            access_counts = self._access_counts
+            for addr, count in zip(uniq.tolist(), counts.tolist()):
+                access_counts[addr] = access_counts.get(addr, 0) + count
+            self.report.produced_events += n_mem
+        if n_mem or free_rows is not None:
+            strings = chunk.strings
+            for w in range(n_workers):
+                shard = mem[workers == w] if n_mem else mem
+                if free_rows is not None:
+                    if shard.shape[0]:
+                        shard = np.concatenate((shard, free_rows))
+                    else:
+                        shard = free_rows
+                if shard.shape[0]:
+                    self._dispatch(w, EventChunk(shard, strings))
+        self.report.produced_chunks += 1
+        self._chunks_since_rebalance += 1
+        if self._chunks_since_rebalance >= self.redistribute_every:
+            self._rebalance()
+            self._chunks_since_rebalance = 0
+
+    def _process_tuples(self, chunk: list) -> None:
         n_workers = self.n_workers
         override = self._override
         counts = self._access_counts
@@ -233,14 +326,32 @@ class ParallelProfiler:
             self.report.redistributions += 1
 
     def _move_address(self, addr: int, src: int, dst: int) -> None:
-        """Move an address's signature state between workers."""
+        """Move an address's signature state between workers.
+
+        Only the first four entry fields are the shadow interface; the
+        columnar fast path may append private cached fields (see
+        ``SerialProfiler._process_columnar``), which a move drops — the
+        receiving worker rebuilds them lazily.
+        """
         src_shadow = self.workers[src].shadow
         dst_shadow = self.workers[dst].shadow
-        lw = src_shadow.last_write(addr)
-        if lw is not None:
-            dst_shadow.record_write(addr, *lw)
-        for rd in src_shadow.reads_since_write(addr):
-            dst_shadow.record_read(addr, *rd)
+        if (
+            type(src_shadow) is PerfectShadow
+            and type(dst_shadow) is PerfectShadow
+        ):
+            # wholesale entry move keeps any private cached fields intact
+            lw = src_shadow.write.get(addr)
+            if lw is not None:
+                dst_shadow.write[addr] = lw
+            entry = src_shadow.reads.get(addr)
+            if entry:
+                dst_shadow.reads[addr] = dict(entry)
+        else:
+            lw = src_shadow.last_write(addr)
+            if lw is not None:
+                dst_shadow.record_write(addr, *lw[:4])
+            for rd in src_shadow.reads_since_write(addr):
+                dst_shadow.record_read(addr, *rd[:4])
         src_shadow.evict(addr, 1)
 
     # ------------------------------------------------------------------

@@ -13,13 +13,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.runtime.events import (
+    COL_AUX,
+    COL_KIND,
+    COL_LINE,
+    COL_NAME,
+    COL_TID,
     EV_BGN,
     EV_END,
     EV_FENTRY,
     EV_FEXIT,
     EV_READ,
     EV_WRITE,
+    EventChunk,
+    K_BGN,
+    K_END,
+    K_FENTRY,
+    K_FEXIT,
+    K_WRITE,
 )
 
 
@@ -112,10 +125,98 @@ class PETBuilder:
             node.iterations += iterations
         self._blocks[tid] = None
 
-    def __call__(self, chunk: list) -> None:
+    def __call__(self, chunk) -> None:
         self.process_chunk(chunk)
 
-    def process_chunk(self, chunk: Iterable[tuple]) -> None:
+    def process_chunk(self, chunk) -> None:
+        if isinstance(chunk, EventChunk):
+            self._process_columnar(chunk)
+        else:
+            self._process_tuples(chunk)
+
+    def _process_columnar(self, chunk: EventChunk) -> None:
+        """Columnar PET construction with batched block attribution.
+
+        The tree only changes shape at control markers; between two
+        markers every memory event of a thread lands in the same block
+        node and attributes to the same enclosing stack.  Runs of memory
+        events are therefore split out vectorized and attributed *per
+        run* — one counter bump and one ``set.update`` per (run, thread)
+        instead of per event.  The resulting tree is identical to the
+        tuple path's.
+        """
+        rows = chunk.rows
+        n = rows.shape[0]
+        if n == 0:
+            return
+        kinds = rows[:, COL_KIND]
+        markers = np.nonzero(kinds > K_WRITE)[0].tolist()
+        lines_col = rows[:, COL_LINE]
+        tids_col = rows[:, COL_TID]
+        names = chunk.strings.values
+        start = 0
+        for ci in markers + [n]:
+            if ci > start:
+                seg_tids = tids_col[start:ci]
+                uniq, first = np.unique(seg_tids, return_index=True)
+                single = uniq.shape[0] == 1
+                if not single:
+                    # keep first-appearance order so node creation matches
+                    # the tuple path's interleaving exactly
+                    uniq = uniq[np.argsort(first)]
+                for tid in uniq.tolist():
+                    if single:
+                        seg_lines = lines_col[start:ci]
+                        count = ci - start
+                    else:
+                        mask = seg_tids == tid
+                        seg_lines = lines_col[start:ci][mask]
+                        count = int(mask.sum())
+                    self._attribute_run(tid, seg_lines, count)
+            if ci < n:
+                row = rows[ci].tolist()
+                k = row[COL_KIND]
+                if k == K_BGN:
+                    kind = names[row[COL_NAME]]
+                    self._enter(
+                        row[COL_TID], kind, f"{kind}@{row[COL_LINE]}",
+                        row[COL_LINE],
+                    )
+                elif k == K_END:
+                    self._leave(
+                        row[COL_TID], names[row[COL_NAME]], row[COL_AUX]
+                    )
+                elif k == K_FENTRY:
+                    self._enter(
+                        row[COL_TID], "function", names[row[COL_NAME]],
+                        row[COL_LINE],
+                    )
+                elif k == K_FEXIT:
+                    self._leave(row[COL_TID], "function")
+            start = ci + 1
+
+    def _attribute_run(self, tid: int, seg_lines, count: int) -> None:
+        """Attribute a marker-free run of memory events to one thread."""
+        block = self._blocks.get(tid)
+        if block is None:
+            stack = self._stack(tid)
+            top = stack[-1]
+            for child in top.children:
+                if child.kind == "block":
+                    block = child
+                    break
+            else:
+                first_line = int(seg_lines[0])
+                block = top.add_child(
+                    self._new_node("block", f"block@{first_line}", first_line)
+                )
+            self._blocks[tid] = block
+        block.memory_instructions += count
+        block.lines_touched.update(seg_lines.tolist())
+        for node in self._stack(tid)[1:]:
+            node.memory_instructions += count
+
+    def _process_tuples(self, chunk: Iterable[tuple]) -> None:
         for ev in chunk:
             kind = ev[0]
             if kind == EV_READ or kind == EV_WRITE:

@@ -27,6 +27,7 @@ from repro.runtime.events import (
     EV_READ,
     EV_UNLOCK,
     EV_WRITE,
+    EventChunk,
 )
 
 
@@ -53,7 +54,10 @@ class DeferredSink:
         self._locks: dict[int, int] = {}
         self._out: list = []
 
-    def __call__(self, chunk: list) -> None:
+    def __call__(self, chunk) -> None:
+        # packed chunks scramble per event too — iterate the legacy view
+        if isinstance(chunk, EventChunk):
+            chunk = chunk.to_tuples()
         for ev in chunk:
             self._feed(ev)
         self._drain_ready()

@@ -35,6 +35,10 @@ class PerfectShadow:
 
     __slots__ = ("write", "reads")
 
+    #: a perfect signature never aliases two addresses (API parity with
+    #: :class:`SignatureShadow`)
+    collisions = 0
+
     def __init__(self) -> None:
         #: addr -> (line, ctx, tid, ts) of the last write
         self.write: dict[int, tuple] = {}
@@ -87,7 +91,10 @@ class SignatureShadow:
     dependences instead of extra memory).
     """
 
-    __slots__ = ("slots", "w_line", "w_ctx", "w_tid", "w_ts", "reads")
+    __slots__ = (
+        "slots", "w_line", "w_ctx", "w_tid", "w_ts", "w_addr", "reads",
+        "collisions",
+    )
 
     def __init__(self, slots: int) -> None:
         if slots <= 0:
@@ -97,9 +104,14 @@ class SignatureShadow:
         self.w_ctx = np.zeros(slots, dtype=np.int64)
         self.w_tid = np.zeros(slots, dtype=np.int64)
         self.w_ts = np.zeros(slots, dtype=np.int64)
+        #: address of the last writer per slot, to observe collisions
+        self.w_addr = np.zeros(slots, dtype=np.int64)
         #: slot -> {line: (line, ctx, tid, ts)}; only occupied slots present,
         #: bounded by `slots` entries of <= MAX_READS_PER_SLOT lines
         self.reads: dict[int, dict[int, tuple]] = {}
+        #: writes that landed on a slot still owned by a *different*
+        #: address — the observable count of Formula 2.2's hash conflicts
+        self.collisions = 0
 
     # line == 0 marks an empty write slot (source lines are 1-based)
 
@@ -124,6 +136,9 @@ class SignatureShadow:
 
     def record_write(self, addr: int, line: int, ctx: int, tid: int, ts: int) -> None:
         i = addr % self.slots
+        if self.w_line[i] != 0 and self.w_addr[i] != addr:
+            self.collisions += 1
+        self.w_addr[i] = addr
         self.w_line[i] = line
         self.w_ctx[i] = ctx
         self.w_tid[i] = tid
@@ -147,7 +162,7 @@ class SignatureShadow:
     def memory_bytes(self) -> int:
         arrays = (
             self.w_line.nbytes + self.w_ctx.nbytes + self.w_tid.nbytes
-            + self.w_ts.nbytes
+            + self.w_ts.nbytes + self.w_addr.nbytes
         )
         n_reads = sum(len(e) for e in self.reads.values())
         return arrays + 192 * max(n_reads, len(self.reads))

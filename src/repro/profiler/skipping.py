@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.profiler.serial import SerialProfiler
-from repro.runtime.events import EV_FREE, EV_READ, EV_WRITE
+from repro.runtime.events import EV_FREE, EV_READ, EV_WRITE, EventChunk
 
 
 @dataclass
@@ -125,10 +125,16 @@ class SkippingProfiler:
 
     # ------------------------------------------------------------------
 
-    def __call__(self, chunk: list) -> None:
+    def __call__(self, chunk) -> None:
         self.process_chunk(chunk)
 
-    def process_chunk(self, chunk: Iterable[tuple]) -> None:
+    def process_chunk(self, chunk) -> None:
+        # The skipping filter is inherently per-event (its state machine
+        # keys on single instructions), so packed chunks are consumed
+        # through the legacy tuple view; the surviving events forward to
+        # the inner profiler as tuple chunks either way.
+        if isinstance(chunk, EventChunk):
+            chunk = chunk.to_tuples()
         forward: list = []
         stats = self.stats
         status_map = self._status

@@ -26,8 +26,15 @@ from repro.runtime.events import (
     EV_UNLOCK,
     EV_SPAWN,
     EV_JOINED,
+    EVENT_DTYPE,
+    ChunkBuilder,
+    EventChunk,
+    SpillingTraceSink,
+    StringTable,
     TraceSink,
     CallbackSink,
+    load_trace,
+    save_trace,
 )
 from repro.runtime.memory import MemoryLayout
 from repro.runtime.interpreter import VM, VMError, run_module, run_source
@@ -46,8 +53,15 @@ __all__ = [
     "EV_UNLOCK",
     "EV_SPAWN",
     "EV_JOINED",
+    "EVENT_DTYPE",
+    "ChunkBuilder",
+    "EventChunk",
+    "SpillingTraceSink",
+    "StringTable",
     "TraceSink",
     "CallbackSink",
+    "load_trace",
+    "save_trace",
     "MemoryLayout",
     "VM",
     "VMError",

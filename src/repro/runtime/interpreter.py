@@ -35,6 +35,21 @@ from repro.runtime.events import (
     EV_SPAWN,
     EV_UNLOCK,
     EV_WRITE,
+    K_ALLOC,
+    K_BGN,
+    K_END,
+    K_FENTRY,
+    K_FEXIT,
+    K_FREE,
+    K_ITER,
+    K_JOINED,
+    K_LOCK,
+    K_READ,
+    K_SPAWN,
+    K_UNLOCK,
+    K_WRITE,
+    ChunkBuilder,
+    StringTable,
     TraceSink,
 )
 from repro.runtime.memory import MemoryLayout
@@ -128,10 +143,14 @@ class VM:
         stack_size: int = 1 << 14,
         max_threads: int = 64,
         instrument: bool = True,
+        chunk_format: str = "tuple",
     ) -> None:
+        if chunk_format not in ("tuple", "columnar"):
+            raise ValueError(f"unknown chunk_format {chunk_format!r}")
         self.module = module
         self.sink = sink
         self.chunk_size = chunk_size
+        self.chunk_format = chunk_format
         self.quantum = quantum
         self.schedule = schedule
         self.rng = _random.Random(seed)
@@ -164,6 +183,31 @@ class VM:
         }
         self._region_end = {r.region_id: r.end_line for r in module.regions.values()}
 
+        # columnar emit state: every string an event can carry is interned
+        # up front (names and var ids are static per instruction), so the
+        # hot emit path stages pure-int rows.
+        self._columnar = chunk_format == "columnar"
+        self.strings: Optional[StringTable] = None
+        if self._columnar:
+            self.strings = StringTable()
+            #: op_id -> (interned var-name id, var_id int code)
+            self._op_meta: dict[int, tuple[int, int]] = {}
+            for func in module.functions.values():
+                for instr in func.code:
+                    if instr.op_id is not None:
+                        self._op_meta[instr.op_id] = (
+                            self.strings.intern(instr.var),
+                            -1 if instr.var_id is None else instr.var_id,
+                        )
+            self._func_name_id = {
+                name: self.strings.intern(name) for name in module.functions
+            }
+            self._region_kind_id = {
+                rid: self.strings.intern(kind)
+                for rid, kind in self._region_kind.items()
+            }
+            self._chunks = ChunkBuilder(chunk_size, self.strings)
+
         self._builtins = _make_builtins()
 
     # ------------------------------------------------------------------
@@ -172,7 +216,10 @@ class VM:
 
     def _flush(self) -> None:
         if self._buffer and self.sink is not None:
-            self.sink(self._buffer)
+            if self._columnar:
+                self.sink(self._chunks.build(self._buffer))
+            else:
+                self.sink(self._buffer)
             self._buffer = []
 
     def _emit(self, event: tuple) -> None:
@@ -180,6 +227,25 @@ class VM:
         buf.append(event)
         if len(buf) >= self.chunk_size:
             self._flush()
+
+    # Cold-site helpers: one branch per legacy layout family.  The hot
+    # load/store sites inline their branch in the dispatch loop instead.
+
+    def _emit_simple(self, code: int, kind: str, operand: int, tid: int) -> None:
+        """(kind, operand, tid, ts) family: ITER/LOCK/UNLOCK/SPAWN/JOINED."""
+        if self._columnar:
+            self._emit((code, operand, 0, 0, 0, tid, self.ts, 0, 0))
+        else:
+            self._emit((kind, operand, tid, self.ts))
+
+    def _emit_block(
+        self, code: int, kind: str, base: int, size: int, tid: int
+    ) -> None:
+        """(kind, base, size, tid, ts) family: ALLOC/FREE."""
+        if self._columnar:
+            self._emit((code, base, 0, 0, size, tid, self.ts, 0, 0))
+        else:
+            self._emit((kind, base, size, tid, self.ts))
 
     # ------------------------------------------------------------------
     # loop-signature interning
@@ -242,11 +308,20 @@ class VM:
         thread.pc = 0
         if self.instrument:
             if func.frame_size:
-                self._emit((EV_ALLOC, frame_base, func.frame_size, thread.tid, self.ts))
-            self._emit(
-                (EV_FENTRY, func_name, func.start_line, thread.tid, self.ts,
-                 call_line)
-            )
+                self._emit_block(
+                    K_ALLOC, EV_ALLOC, frame_base, func.frame_size, thread.tid
+                )
+            if self._columnar:
+                self._emit(
+                    (K_FENTRY, 0, func.start_line,
+                     self._func_name_id[func_name], call_line, thread.tid,
+                     self.ts, 0, 0)
+                )
+            else:
+                self._emit(
+                    (EV_FENTRY, func_name, func.start_line, thread.tid,
+                     self.ts, call_line)
+                )
 
     def _pop_frame(self, thread: ThreadState, value) -> None:
         frame = thread.frames.pop()
@@ -254,11 +329,17 @@ class VM:
         while frame.region_stack:
             self._close_region_entry(thread, frame, frame.region_stack.pop())
         if self.instrument:
-            self._emit((EV_FEXIT, frame.func.name, thread.tid, self.ts))
-            if frame.func.frame_size:
+            if self._columnar:
                 self._emit(
-                    (EV_FREE, frame.frame_base, frame.func.frame_size, thread.tid,
-                     self.ts)
+                    (K_FEXIT, 0, 0, self._func_name_id[frame.func.name], 0,
+                     thread.tid, self.ts, 0, 0)
+                )
+            else:
+                self._emit((EV_FEXIT, frame.func.name, thread.tid, self.ts))
+            if frame.func.frame_size:
+                self._emit_block(
+                    K_FREE, EV_FREE, frame.frame_base, frame.func.frame_size,
+                    thread.tid,
                 )
         thread.sp = frame.frame_base
         if thread.frames:
@@ -279,17 +360,24 @@ class VM:
                 thread.loop_stack.pop()
                 self._intern_sig(thread)
         if self.instrument:
-            self._emit(
-                (
-                    EV_END,
-                    region_id,
-                    kind,
-                    self._region_end[region_id],
-                    thread.tid,
-                    self.ts,
-                    iters,
+            if self._columnar:
+                self._emit(
+                    (K_END, region_id, self._region_end[region_id],
+                     self._region_kind_id[region_id], iters, thread.tid,
+                     self.ts, 0, 0)
                 )
-            )
+            else:
+                self._emit(
+                    (
+                        EV_END,
+                        region_id,
+                        kind,
+                        self._region_end[region_id],
+                        thread.tid,
+                        self.ts,
+                        iters,
+                    )
+                )
 
     # ------------------------------------------------------------------
     # execution
@@ -332,6 +420,8 @@ class VM:
     def _run_thread(self, thread: ThreadState, quantum: int) -> None:
         memory = self.memory
         instrument = self.instrument
+        columnar = self._columnar
+        op_meta = self._op_meta if columnar else None
         tid = thread.tid
         steps = 0
         while steps < quantum and thread.status == RUNNABLE and thread.frames:
@@ -358,19 +448,27 @@ class VM:
                         addr = regs[ref[1]]
                     regs[instr.dest] = memory[addr]
                     if instrument:
-                        self._emit(
-                            (
-                                EV_READ,
-                                addr,
-                                instr.line,
-                                instr.var,
-                                instr.op_id,
-                                tid,
-                                self.ts,
-                                thread.sig_id,
-                                instr.var_id,
+                        if columnar:
+                            op_id = instr.op_id
+                            name_id, var_code = op_meta[op_id]
+                            self._emit(
+                                (K_READ, addr, instr.line, name_id, op_id,
+                                 tid, self.ts, thread.sig_id, var_code)
                             )
-                        )
+                        else:
+                            self._emit(
+                                (
+                                    EV_READ,
+                                    addr,
+                                    instr.line,
+                                    instr.var,
+                                    instr.op_id,
+                                    tid,
+                                    self.ts,
+                                    thread.sig_id,
+                                    instr.var_id,
+                                )
+                            )
                 elif op == "store":
                     ref = instr.a
                     space = ref[0]
@@ -383,19 +481,27 @@ class VM:
                     src = instr.b
                     memory[addr] = src[1] if src[0] == "i" else regs[src[1]]
                     if instrument:
-                        self._emit(
-                            (
-                                EV_WRITE,
-                                addr,
-                                instr.line,
-                                instr.var,
-                                instr.op_id,
-                                tid,
-                                self.ts,
-                                thread.sig_id,
-                                instr.var_id,
+                        if columnar:
+                            op_id = instr.op_id
+                            name_id, var_code = op_meta[op_id]
+                            self._emit(
+                                (K_WRITE, addr, instr.line, name_id, op_id,
+                                 tid, self.ts, thread.sig_id, var_code)
                             )
-                        )
+                        else:
+                            self._emit(
+                                (
+                                    EV_WRITE,
+                                    addr,
+                                    instr.line,
+                                    instr.var,
+                                    instr.op_id,
+                                    tid,
+                                    self.ts,
+                                    thread.sig_id,
+                                    instr.var_id,
+                                )
+                            )
                 elif op == "bin":
                     bop = instr.a
                     lhs = instr.b
@@ -444,22 +550,30 @@ class VM:
                         thread.loop_stack.append([region_id, 0])
                         self._intern_sig(thread)
                     if instrument:
-                        self._emit(
-                            (
-                                EV_BGN,
-                                region_id,
-                                kind,
-                                self._region_start[region_id],
-                                tid,
-                                self.ts,
+                        if columnar:
+                            self._emit(
+                                (K_BGN, region_id,
+                                 self._region_start[region_id],
+                                 self._region_kind_id[region_id], 0, tid,
+                                 self.ts, 0, 0)
                             )
-                        )
+                        else:
+                            self._emit(
+                                (
+                                    EV_BGN,
+                                    region_id,
+                                    kind,
+                                    self._region_start[region_id],
+                                    tid,
+                                    self.ts,
+                                )
+                            )
                 elif op == "iter":
                     top = thread.loop_stack[-1]
                     top[1] += 1
                     self._intern_sig(thread)
                     if instrument:
-                        self._emit((EV_ITER, instr.a, tid, self.ts))
+                        self._emit_simple(K_ITER, EV_ITER, instr.a, tid)
                 elif op == "exit":
                     region_id = instr.a
                     while frame.region_stack:
@@ -503,7 +617,7 @@ class VM:
                     if instr.dest is not None:
                         regs[instr.dest] = child.tid
                     if instrument:
-                        self._emit((EV_SPAWN, child.tid, tid, self.ts))
+                        self._emit_simple(K_SPAWN, EV_SPAWN, child.tid, tid)
                     thread.pc = pc
                     break  # give the scheduler a chance to interleave
                 elif op == "join":
@@ -513,7 +627,7 @@ class VM:
                         raise VMError(f"join of unknown thread {target}")
                     if self.threads[target].status == DONE:
                         if instrument:
-                            self._emit((EV_JOINED, target, tid, self.ts))
+                            self._emit_simple(K_JOINED, EV_JOINED, target, tid)
                     else:
                         thread.status = BLOCKED_JOIN
                         thread.wait_target = target
@@ -526,7 +640,7 @@ class VM:
                     if owner is None:
                         self._lock_owner[lock_id] = tid
                         if instrument:
-                            self._emit((EV_LOCK, lock_id, tid, self.ts))
+                            self._emit_simple(K_LOCK, EV_LOCK, lock_id, tid)
                     elif owner == tid:
                         raise VMError(f"thread {tid} re-locks lock {lock_id}")
                     else:
@@ -544,7 +658,7 @@ class VM:
                         )
                     del self._lock_owner[lock_id]
                     if instrument:
-                        self._emit((EV_UNLOCK, lock_id, tid, self.ts))
+                        self._emit_simple(K_UNLOCK, EV_UNLOCK, lock_id, tid)
                     waiters = self._lock_waiters.get(lock_id)
                     if waiters:
                         woken = waiters.popleft()
@@ -586,14 +700,14 @@ def _make_builtins() -> dict:
             for i in range(base, base + size):
                 memory[i] = 0
         if vm.instrument:
-            vm._emit((EV_ALLOC, base, size, thread.tid, vm.ts))
+            vm._emit_block(K_ALLOC, EV_ALLOC, base, size, thread.tid)
         return base
 
     def _free(vm: VM, thread: ThreadState, args: list):
         base = int(args[0])
         size = vm.layout.heap_free(base)
         if vm.instrument:
-            vm._emit((EV_FREE, base, size, thread.tid, vm.ts))
+            vm._emit_block(K_FREE, EV_FREE, base, size, thread.tid)
         return 0
 
     def _print(vm: VM, thread: ThreadState, args: list):

@@ -1,0 +1,480 @@
+"""Columnar event pipeline: packing, equivalence, spilling, backends.
+
+The refactor's contract: the packed (columnar) event path is an exact,
+faster drop-in for the legacy tuple path — bit-identical DependenceStore
+contents, identical control records and shadow behaviour — while the
+spilling sink bounds resident trace memory without losing re-iterability.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cu.topdown import TopDownBuilder
+from repro.engine import DiscoveryConfig, DiscoveryEngine
+from repro.mir.lowering import compile_source
+from repro.profiler.backends import make_backend
+from repro.profiler.parallel import ParallelProfiler
+from repro.profiler.pet import PETBuilder
+from repro.profiler.serial import SerialProfiler
+from repro.profiler.shadow import PerfectShadow, SignatureShadow
+from repro.profiler.skipping import SkippingProfiler
+from repro.runtime.events import (
+    EVENT_DTYPE,
+    EventChunk,
+    SpillingTraceSink,
+    StringTable,
+    TraceSink,
+    load_trace,
+    save_trace,
+)
+from repro.runtime.interpreter import VM, run_source
+from repro.workloads import get_workload
+
+TEXTBOOK = "histogram"
+NAS = "CG"
+
+
+def record(module, entry: str, chunk_format: str, **vm_kwargs):
+    trace = TraceSink()
+    vm = VM(module, trace, chunk_format=chunk_format, **vm_kwargs)
+    vm.run(entry)
+    return trace, vm
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """Both-format traces for the textbook + NAS workloads."""
+    out = {}
+    for name in (TEXTBOOK, NAS):
+        workload = get_workload(name)
+        module = workload.compile(1)
+        out[name] = {
+            fmt: record(module, workload.entry, fmt)
+            for fmt in ("tuple", "columnar")
+        }
+    return out
+
+
+class TestPackedFormat:
+    def test_decoded_stream_is_bit_identical(self, recorded):
+        for name, pair in recorded.items():
+            tuples = list(pair["tuple"][0].events())
+            decoded = list(pair["columnar"][0].events())
+            assert tuples == decoded, name
+
+    def test_event_dtype_layout(self, recorded):
+        chunk = recorded[TEXTBOOK]["columnar"][0].chunks[0]
+        assert isinstance(chunk, EventChunk)
+        structured = chunk.structured
+        assert structured.dtype == EVENT_DTYPE
+        assert structured.shape[0] == len(chunk)
+        assert chunk.nbytes == len(chunk) * EVENT_DTYPE.itemsize
+
+    def test_pack_roundtrip_from_tuples(self, recorded):
+        trace = recorded[TEXTBOOK]["tuple"][0]
+        events = list(trace.events())[:500]
+        chunk = EventChunk.from_tuples(events)
+        assert list(chunk.to_tuples()) == events
+        taken = chunk.take(np.arange(10))
+        assert list(taken) == events[:10]
+
+    def test_string_table_reserves_none(self):
+        table = StringTable()
+        assert table.decode(0) is None
+        sid = table.intern("x")
+        assert table.intern("x") == sid
+        assert table.decode(sid) == "x"
+        restored = StringTable.from_array(table.to_array())
+        assert restored.values == table.values
+
+
+class TestSinkAccounting:
+    def test_n_events_single_source_of_truth(self, recorded):
+        for pair in recorded.values():
+            for trace, _ in pair.values():
+                assert trace.n_events == sum(len(c) for c in trace.chunks)
+                assert len(trace) == trace.n_events
+                assert trace.n_events == sum(1 for _ in trace.events())
+
+    def test_nbytes_observable(self, recorded):
+        tuple_trace = recorded[TEXTBOOK]["tuple"][0]
+        packed_trace = recorded[TEXTBOOK]["columnar"][0]
+        assert packed_trace.nbytes == packed_trace.n_events * 72
+        # the tuple estimate is per-event and strictly larger
+        assert tuple_trace.nbytes > packed_trace.nbytes
+
+
+def profile_trace(trace, vm, shadow=None):
+    profiler = SerialProfiler(
+        shadow if shadow is not None else PerfectShadow(), vm.loop_signature
+    )
+    for chunk in trace.chunks:
+        profiler.process_chunk(chunk)
+    return profiler
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("name", [TEXTBOOK, NAS])
+    def test_dependence_store_bit_identical(self, recorded, name):
+        pair = recorded[name]
+        p_tuple = profile_trace(*pair["tuple"])
+        p_packed = profile_trace(*pair["columnar"])
+        assert p_tuple.store.to_dict() == p_packed.store.to_dict()
+        assert {k: r.to_dict() for k, r in p_tuple.control.items()} == {
+            k: r.to_dict() for k, r in p_packed.control.items()
+        }
+        assert p_tuple.stats.reads == p_packed.stats.reads
+        assert p_tuple.stats.writes == p_packed.stats.writes
+        assert p_tuple.stats.deps_built == p_packed.stats.deps_built
+        assert p_tuple.stats.evictions == p_packed.stats.evictions
+
+    @pytest.mark.parametrize("name", [TEXTBOOK, NAS])
+    def test_signature_shadow_collisions_unchanged(self, recorded, name):
+        pair = recorded[name]
+        s_tuple = SignatureShadow(251)
+        s_packed = SignatureShadow(251)
+        p_tuple = profile_trace(*pair["tuple"], shadow=s_tuple)
+        p_packed = profile_trace(*pair["columnar"], shadow=s_packed)
+        assert p_tuple.store.to_dict() == p_packed.store.to_dict()
+        assert s_tuple.collisions == s_packed.collisions
+        assert s_tuple.collisions > 0  # 251 slots must alias something
+
+    def test_large_op_ids_do_not_alias_memo_keys(self):
+        """op_id past the int64-safe 11 bits must not merge distinct deps.
+
+        Regression: the vectorized occurrence-key base wrapped int64 for
+        ``op_id >= 2048``, aliasing (op 5, op 4101) into one memo key and
+        silently merging two different RAW dependences.
+        """
+        events = [
+            ("W", 1, 1, "x", 5, 0, 1, 0, 1),
+            ("R", 1, 10, "x", 5, 0, 2, 0, 1),
+            ("R", 1, 99, "y", 4101, 0, 3, 0, 2),
+        ]
+        p_tuple = SerialProfiler(PerfectShadow())
+        p_tuple.process_chunk(events)
+        p_packed = SerialProfiler(PerfectShadow())
+        p_packed.process_chunk(EventChunk.from_tuples(events))
+        assert p_tuple.store.to_dict() == p_packed.store.to_dict()
+        assert len(p_packed.store) == 2
+
+    def test_multithreaded_equivalence(self):
+        src = """
+        int counter;
+        int partial[4];
+        void worker(int id, int n) {
+          int local = 0;
+          for (int i = 0; i < n; i++) { local += 1; }
+          partial[id] = local;
+          lock(1);
+          counter += local;
+          unlock(1);
+        }
+        int main() {
+          int t0 = spawn worker(0, 25);
+          int t1 = spawn worker(1, 25);
+          join(t0); join(t1);
+          return counter;
+        }
+        """
+        module = compile_source(src)
+        results = {}
+        for fmt in ("tuple", "columnar"):
+            trace, vm = record(module, "main", fmt, quantum=8)
+            results[fmt] = profile_trace(trace, vm)
+        assert (
+            results["tuple"].store.to_dict()
+            == results["columnar"].store.to_dict()
+        )
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("name", [TEXTBOOK, NAS])
+    def test_sharded_store_matches_tuple_path(self, recorded, name):
+        pair = recorded[name]
+        stores = {}
+        for fmt, (trace, vm) in pair.items():
+            profiler = ParallelProfiler(
+                4, sig_decoder=vm.loop_signature, redistribute_every=4
+            )
+            for chunk in trace.chunks:
+                profiler.process_chunk(chunk)
+            stores[fmt] = profiler.finish()
+            report = profiler.report
+            assert report.produced_events > 0
+        assert stores["tuple"].to_dict() == stores["columnar"].to_dict()
+
+
+class TestSkippingAndPET:
+    def test_skipping_accepts_packed_chunks(self, recorded):
+        pair = recorded[TEXTBOOK]
+        results = {}
+        for fmt, (trace, vm) in pair.items():
+            skipper = SkippingProfiler(
+                SerialProfiler(PerfectShadow(), vm.loop_signature)
+            )
+            for chunk in trace.chunks:
+                skipper.process_chunk(chunk)
+            results[fmt] = skipper
+        assert (
+            results["tuple"].store.to_dict()
+            == results["columnar"].store.to_dict()
+        )
+        assert (
+            results["tuple"].stats.skipped
+            == results["columnar"].stats.skipped
+        )
+
+    def test_pet_tree_identical(self, recorded):
+        for name, pair in recorded.items():
+            trees = {}
+            for fmt, (trace, _) in pair.items():
+                pet = PETBuilder()
+                for chunk in trace.chunks:
+                    pet.process_chunk(chunk)
+                trees[fmt] = pet
+            assert (
+                trees["tuple"].format_tree(max_depth=12)
+                == trees["columnar"].format_tree(max_depth=12)
+            ), name
+
+
+class TestCUWalk:
+    @pytest.mark.parametrize("name", [TEXTBOOK, NAS])
+    def test_topdown_registry_identical(self, recorded, name):
+        pair = recorded[name]
+        workload = get_workload(name)
+        module = workload.compile(1)
+        registries = {}
+        for fmt, (trace, _) in pair.items():
+            builder = TopDownBuilder(module)
+            builder.process_chunks(trace.iter_chunks())
+            registries[fmt] = (builder.build(), dict(builder.line_counts))
+        assert registries["tuple"][1] == registries["columnar"][1]
+        assert (
+            registries["tuple"][0].to_dict()
+            == registries["columnar"][0].to_dict()
+        )
+
+
+class TestSpillingTraceSink:
+    def test_spills_and_reiterates(self, tmp_path):
+        workload = get_workload(TEXTBOOK)
+        module = workload.compile(1)
+        full = TraceSink()
+        vm = VM(module, full, chunk_format="columnar", chunk_size=256)
+        vm.run(workload.entry)
+
+        spilling = SpillingTraceSink(8, spill_dir=str(tmp_path))
+        vm2 = VM(module, spilling, chunk_format="columnar", chunk_size=256)
+        vm2.run(workload.entry)
+
+        assert spilling.resident_chunks <= 8
+        assert spilling.n_spilled_chunks > 0
+        assert spilling.spilled_bytes > 0
+        assert spilling.n_events == full.n_events
+        assert spilling.nbytes < full.nbytes
+        # re-iterable: two full passes decode identically
+        first = list(spilling.events())
+        second = list(spilling.events())
+        assert first == second == list(full.events())
+        spilling.close()
+        assert not any(
+            f.startswith("segment-") for f in os.listdir(tmp_path)
+        )
+
+    def test_accepts_tuple_chunks(self):
+        _, trace, _ = run_source(
+            "int main() { int s = 0; "
+            "for (int i = 0; i < 50; i++) { s += i; } return s; }"
+        )
+        spilling = SpillingTraceSink(1)
+        for chunk in trace.chunks:
+            spilling(chunk)
+        assert list(spilling.events()) == list(trace.events())
+        spilling.close()
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        workload = get_workload(TEXTBOOK)
+        module = workload.compile(1)
+        trace, _ = record(module, workload.entry, "columnar")
+        path = tmp_path / "trace.npz"
+        save_trace(trace, str(path))
+        restored = load_trace(str(path))
+        assert list(restored.events()) == list(trace.events())
+
+
+class TestEngineIntegration:
+    def test_spilling_engine_matches_resident(self):
+        workload = get_workload(TEXTBOOK)
+        base = DiscoveryConfig(
+            source=workload.source(1), name=TEXTBOOK,
+            vm_kwargs={"chunk_size": 256},
+        )
+        resident = DiscoveryEngine(config=base).run()
+        spilled_engine = DiscoveryEngine(
+            config=base.replace(spill_trace=True, max_resident_chunks=8)
+        )
+        spilled = spilled_engine.run()
+        profile = spilled_engine.profile()
+        assert profile.stats["spilled_chunks"] > 0
+        assert profile.trace.resident_chunks <= 8
+        assert resident.store.to_dict() == spilled.store.to_dict()
+        assert resident.registry.to_dict() == spilled.registry.to_dict()
+        assert [s.to_dict() for s in resident.suggestions] == [
+            s.to_dict() for s in spilled.suggestions
+        ]
+
+    def test_chunk_format_tuple_vs_columnar_results(self):
+        workload = get_workload(TEXTBOOK)
+        results = {}
+        for fmt in ("tuple", "columnar"):
+            engine = DiscoveryEngine(
+                config=DiscoveryConfig(
+                    source=workload.source(1), name=TEXTBOOK,
+                    chunk_format=fmt,
+                )
+            )
+            results[fmt] = engine.run()
+        assert (
+            results["tuple"].store.to_dict()
+            == results["columnar"].store.to_dict()
+        )
+        assert (
+            results["tuple"].registry.to_dict()
+            == results["columnar"].registry.to_dict()
+        )
+
+    def test_engine_records_phase_timings(self):
+        workload = get_workload(TEXTBOOK)
+        engine = DiscoveryEngine(
+            config=DiscoveryConfig(source=workload.source(1), name=TEXTBOOK)
+        )
+        result = engine.run()
+        assert set(result.timings) == {
+            "profile", "build_cus", "detect", "rank"
+        }
+        assert all(t >= 0 for t in result.timings.values())
+        data = result.to_dict()
+        assert data["timings"] == result.timings
+        from repro.engine import DiscoveryResult
+
+        assert DiscoveryResult.from_dict(data).to_dict() == data
+
+
+class TestBackendRegistry:
+    def source_and_decoder(self):
+        workload = get_workload(TEXTBOOK)
+        module = workload.compile(1)
+        return workload, module
+
+    def run_backend(self, name, **options):
+        workload, module = self.source_and_decoder()
+        backend = make_backend(name, **options)
+        vm = VM(module, backend, chunk_format="columnar")
+        backend.sig_decoder = vm.loop_signature
+        vm.run(workload.entry)
+        return backend.finish()
+
+    def test_serial_and_parallel_agree(self):
+        serial = self.run_backend("serial")
+        parallel = self.run_backend("parallel", n_workers=4)
+        assert serial.store.to_dict() == parallel.store.to_dict()
+        assert serial.stats["backend"] == "serial"
+        assert parallel.stats["backend"] == "parallel"
+        assert parallel.stats["n_workers"] == 4
+        assert {r.region_id for r in serial.control.values()} == {
+            r.region_id for r in parallel.control.values()
+        }
+
+    def test_signature_backend_defaults_slots(self):
+        result = self.run_backend("signature")
+        assert result.stats["backend"] == "signature"
+        assert "shadow_collisions" in result.stats
+
+    def test_skipping_backend_reports_skips(self):
+        result = self.run_backend("skipping")
+        assert "skip_stats" in result.extras
+        assert result.stats["skipped"] == result.extras["skip_stats"].skipped
+
+    def test_unknown_backend_is_loud(self):
+        with pytest.raises(ValueError, match="unknown profiler backend"):
+            make_backend("warp-drive")
+
+    def test_parallel_plus_skip_loops_fails_loudly(self):
+        config = DiscoveryConfig(
+            source="int main() { return 0; }",
+            backend="parallel",
+            skip_loops=True,
+        )
+        with pytest.raises(ValueError, match="skip_loops is not supported"):
+            DiscoveryEngine(config=config).profile()
+
+    def test_engine_backend_selection(self):
+        workload = get_workload(TEXTBOOK)
+        serial = DiscoveryEngine(
+            config=DiscoveryConfig(source=workload.source(1))
+        ).run()
+        parallel = DiscoveryEngine(
+            config=DiscoveryConfig(
+                source=workload.source(1),
+                backend="parallel",
+                backend_options={"n_workers": 4},
+            )
+        ).run()
+        assert serial.store.to_dict() == parallel.store.to_dict()
+
+
+class TestCLIPipelineFlags:
+    def test_discover_backend_flag_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "discover", "--workload", TEXTBOOK, "--backend", "parallel",
+            "--format", "json",
+        ])
+        assert code == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["artifact"] == "discovery_result"
+        assert data["profile_stats"]["backend"] == "parallel"
+        assert set(data["timings"]) == {
+            "profile", "build_cus", "detect", "rank"
+        }
+
+    def test_discover_spill_and_tuple_format(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "discover", "--workload", TEXTBOOK, "--chunk-format", "tuple",
+            "--spill-trace", "--max-resident-chunks", "8",
+            "--format", "json",
+        ])
+        assert code == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["profile_stats"]["chunk_format"] == "tuple"
+        assert "spilled_chunks" in data["profile_stats"]
+
+    def test_bench_smoke(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "bench", "fib", "--reps", "1", "--format", "json",
+            "--save", "bench.json",
+        ])
+        assert code == 0
+        import json
+
+        with open(tmp_path / "bench.json") as handle:
+            saved = json.load(handle)
+        assert saved["workloads"][0]["workload"] == "fib"
+        assert saved["all_stores_identical"]
+        assert saved["workloads"][0]["throughput_ratio"] > 0
