@@ -1,0 +1,140 @@
+"""Auto-parallelization bench: measured vs. predicted speedup per worker
+count.
+
+Sweeps the scheduler's worker-pool width over registry workloads with
+transformable suggestions, validates every applied transform bit-for-bit
+against the sequential run, and records measured simulated-unit speedup
+next to the exec-model prediction.  Writes
+``benchmarks/out/BENCH_parallelize.json`` — the seed artifact the CI
+parallelize-smoke step and future performance trajectories compare
+against — plus the house-style text table.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import OUT_DIR, emit, fmt_table
+from repro.engine import DiscoveryConfig, DiscoveryEngine
+from repro.workloads import get_workload
+
+#: workloads with at least one feasible DOALL or task-graph transform
+WORKLOADS = ["matmul", "dotprod", "mandelbrot", "facedetection"]
+WORKER_SWEEP = [1, 2, 4, 8]
+
+
+def run_parallelize_bench(
+    workloads=None, worker_sweep=None, scale: int = 1
+) -> dict:
+    workloads = workloads or WORKLOADS
+    worker_sweep = worker_sweep or WORKER_SWEEP
+    rows = []
+    for name in workloads:
+        w = get_workload(name)
+        engine = DiscoveryEngine(
+            config=DiscoveryConfig(
+                source=w.source(scale), name=name, entry=w.entry
+            )
+        )
+        for workers in worker_sweep:
+            artifact = engine.validate(workers)
+            feasible = artifact.feasible
+            identical = [r for r in feasible if r.identical]
+            best = max(
+                (r for r in identical),
+                key=lambda r: r.measured_speedup,
+                default=None,
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "n_workers": workers,
+                    "transforms_applied": len(feasible),
+                    "transforms_identical": len(identical),
+                    "best_kind": best.kind if best else None,
+                    "best_location": best.location if best else None,
+                    "best_measured_speedup": (
+                        best.measured_speedup if best else None
+                    ),
+                    "best_predicted_speedup": (
+                        best.predicted_speedup if best else None
+                    ),
+                    "mean_abs_prediction_error": (
+                        artifact.mean_abs_prediction_error
+                    ),
+                    "utilization": (
+                        best.scheduler.get("utilization") if best else None
+                    ),
+                }
+            )
+    all_valid = all(
+        r["transforms_applied"] == r["transforms_identical"] for r in rows
+    )
+    return {
+        "artifact": "bench_parallelize",
+        "scale": scale,
+        "worker_sweep": list(worker_sweep),
+        "rows": rows,
+        "all_transforms_validated": all_valid,
+        "max_measured_speedup": max(
+            (r["best_measured_speedup"] or 0.0) for r in rows
+        ),
+    }
+
+
+def format_parallelize_table(result: dict) -> str:
+    rows = []
+    for r in result["rows"]:
+        rows.append(
+            [
+                r["workload"],
+                r["n_workers"],
+                f"{r['transforms_identical']}/{r['transforms_applied']}",
+                r["best_kind"] or "-",
+                (
+                    f"{r['best_measured_speedup']:.2f}"
+                    if r["best_measured_speedup"]
+                    else "-"
+                ),
+                (
+                    f"{r['best_predicted_speedup']:.2f}"
+                    if r["best_predicted_speedup"]
+                    else "-"
+                ),
+                (
+                    f"{r['mean_abs_prediction_error']:.1%}"
+                    if r["mean_abs_prediction_error"] is not None
+                    else "-"
+                ),
+            ]
+        )
+    return fmt_table(
+        ["workload", "workers", "valid", "best", "measured", "predicted",
+         "|err|"],
+        rows,
+    )
+
+
+def test_parallelize_speedup_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_parallelize_bench, rounds=1, iterations=1
+    )
+    emit("BENCH_parallelize", format_parallelize_table(result))
+    (OUT_DIR / "BENCH_parallelize.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    # hard floor: every applied transform reproduces the sequential state,
+    # and parallel execution actually pays off somewhere
+    assert result["all_transforms_validated"]
+    assert result["max_measured_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    result = run_parallelize_bench()
+    print(format_parallelize_table(result))
+    (OUT_DIR / "BENCH_parallelize.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    (OUT_DIR / "BENCH_parallelize.txt").write_text(
+        format_parallelize_table(result) + "\n"
+    )

@@ -70,6 +70,22 @@ def main() -> None:
               f"(local speedup {top.scores.local_speedup:.1f})")
     print(f"  instrumented VM executions: {engine.vm_runs}")
 
+    print("\n== parallelize + validate: is the potential real? ==")
+    plan = engine.parallelize(n_workers=4)   # Phase 4: MIR transforms
+    print("  " + plan.format_table().replace("\n", "\n  "))
+    checked = engine.validate()              # Phase 5: execute + compare
+    for report in checked.reports:
+        if not report.feasible:
+            continue
+        verdict = "identical" if report.identical else "MISMATCH"
+        print(f"  [{report.kind}] {report.location}: {verdict}, "
+              f"measured {report.measured_speedup:.2f}x vs predicted "
+              f"{report.predicted_speedup:.2f}x "
+              f"({report.prediction_error:+.1%} error)")
+    error = checked.mean_abs_prediction_error
+    if error is not None:
+        print(f"  exec-model mean |prediction error|: {error:.1%}")
+
     print("\n== artifacts round-trip through JSON ==")
     payload = json.dumps(engine.run().to_dict())
     reloaded = DiscoveryResult.from_dict(json.loads(payload))

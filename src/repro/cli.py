@@ -6,6 +6,7 @@ The unified ``repro`` command drives the staged engine::
     repro discover file.mc [--threads 8] [--format json] [--save out.json]
     repro discover --workload fib --backend parallel --format json
     repro discover file.mc --spill-trace --max-resident-chunks 8
+    repro parallelize --workload matmul --workers 4   # transform+validate
     repro report   file.mc            # PET + profiling statistics
     repro report   --load out.json    # re-render a saved result, no re-run
     repro batch    fib sort CG --jobs 4 --format json
@@ -211,6 +212,48 @@ def cmd_discover(args) -> int:
     return 0
 
 
+def cmd_parallelize(args) -> int:
+    from repro.engine import DiscoveryEngine
+    from repro.parallelize import format_validation_table
+
+    source, name = _read_source(args)
+    config = _config_from_args(args, source, name).replace(
+        n_workers=args.workers,
+        n_threads=args.workers,
+        parallel_quantum=args.quantum,
+        validate=True,
+    )
+    engine = DiscoveryEngine(config=config)
+    plan = engine.parallelize()
+    artifact = engine.validate()
+    text = plan.format_table() + "\n\n" + format_validation_table(
+        artifact.reports
+    )
+    _emit(args, artifact, text)
+    feasible = artifact.feasible
+    error = artifact.mean_abs_prediction_error
+    print(
+        f"; transforms: {len(feasible)}/{len(artifact.reports)} applied, "
+        f"{artifact.n_identical} validated identical, "
+        f"{artifact.n_speedup} with measured speedup > 1"
+        + (
+            f", mean |prediction error| {error:.1%}"
+            if error is not None
+            else ""
+        ),
+        file=sys.stderr,
+    )
+    failed = [r for r in feasible if not r.identical]
+    if failed:
+        print(
+            f"; FAIL: {len(failed)} transform(s) diverged from the "
+            "sequential run",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.engine.bench import format_pipeline_table, run_pipeline_bench
 
@@ -348,6 +391,22 @@ def main(argv=None) -> int:
     _add_pipeline_options(p)
     _add_output_options(p)
     p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser(
+        "parallelize",
+        help="transform + execute + validate ranked suggestions",
+    )
+    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("--workload", help="registry workload name instead")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--workers", type=int, default=4,
+                   help="scheduler worker-pool width")
+    p.add_argument("--quantum", type=int, default=256,
+                   help="steps per worker per scheduler tick")
+    _add_run_options(p)
+    _add_pipeline_options(p)
+    _add_output_options(p)
+    p.set_defaults(func=cmd_parallelize)
 
     p = sub.add_parser(
         "bench", help="event-pipeline bench: tuple vs columnar throughput"

@@ -23,6 +23,9 @@ class Suggestion:
     spmd: Optional[SPMDTaskGroup] = None
     task_graph: Optional[TaskGraph] = None
     notes: list[str] = field(default_factory=list)
+    #: transform-plan summary attached by the parallelize phase:
+    #: {"plan_index", "transform", "feasible", "reason", ...}
+    transform: Optional[dict] = None
 
     @property
     def location(self) -> str:
@@ -42,6 +45,7 @@ class Suggestion:
                 self.task_graph.to_dict() if self.task_graph else None
             ),
             "notes": list(self.notes),
+            "transform": dict(self.transform) if self.transform else None,
         }
 
     @classmethod
@@ -68,6 +72,9 @@ class Suggestion:
                 else None
             ),
             notes=list(data["notes"]),
+            transform=(
+                dict(data["transform"]) if data.get("transform") else None
+            ),
         )
 
     def render(self) -> str:
@@ -130,7 +137,12 @@ class Suggestion:
         ):
             return ("#pragma omp parallel for " + " ".join(clauses)).strip()
         if self.loop.classification == LoopClass.DOACROSS:
-            return "#pragma omp parallel for ordered " + " ".join(clauses)
+            # `ordered` is a clause like any other: rendered in the same
+            # clause list, with no stray whitespace when it stands alone
+            return (
+                "#pragma omp parallel for "
+                + " ".join(["ordered"] + clauses)
+            ).strip()
         return ""
 
 

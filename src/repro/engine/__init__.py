@@ -24,6 +24,7 @@ from repro.engine.artifacts import (
     FunctionTaskAnalysis,
     ProfileArtifact,
     RankArtifact,
+    ValidationArtifact,
     load_artifact,
     save_artifact,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "FunctionTaskAnalysis",
     "ProfileArtifact",
     "RankArtifact",
+    "ValidationArtifact",
     "format_batch_table",
     "job_for_source",
     "job_for_workload",

@@ -29,6 +29,8 @@ from repro.discovery.loops import LoopInfo
 from repro.discovery.suggestions import Suggestion
 from repro.discovery.tasks import SPMDTaskGroup, TaskGraph
 from repro.mir.module import Module
+from repro.parallelize.plan import TransformPlan
+from repro.parallelize.validate import ValidationReport
 from repro.profiler.deps import DependenceStore
 from repro.profiler.pet import PETBuilder
 from repro.profiler.serial import ControlRecord
@@ -238,6 +240,62 @@ class RankArtifact:
         )
 
 
+#: the transform plan serializes itself; register it for load_artifact
+TransformPlan.artifact_kind = "transform_plan"
+ARTIFACT_KINDS["transform_plan"] = TransformPlan
+
+
+@_artifact("validation")
+@dataclass
+class ValidationArtifact:
+    """Validate-phase output: one report per transformable suggestion."""
+
+    n_workers: int
+    reports: list[ValidationReport] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> list[ValidationReport]:
+        return [r for r in self.reports if r.feasible]
+
+    @property
+    def n_identical(self) -> int:
+        return sum(1 for r in self.feasible if r.identical)
+
+    @property
+    def n_speedup(self) -> int:
+        return sum(
+            1
+            for r in self.feasible
+            if r.identical and r.measured_speedup > 1.0
+        )
+
+    @property
+    def mean_abs_prediction_error(self) -> Optional[float]:
+        """Mean |predicted - measured| / measured over valid transforms."""
+        errors = [
+            abs(r.prediction_error) for r in self.feasible if r.identical
+        ]
+        if not errors:
+            return None
+        return sum(errors) / len(errors)
+
+    def to_dict(self) -> dict:
+        return {
+            "artifact": "validation",
+            "n_workers": self.n_workers,
+            "reports": [r.to_dict() for r in self.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ValidationArtifact":
+        return cls(
+            n_workers=data["n_workers"],
+            reports=[
+                ValidationReport.from_dict(r) for r in data["reports"]
+            ],
+        )
+
+
 # ---------------------------------------------------------------------------
 # the assembled result
 # ---------------------------------------------------------------------------
@@ -270,6 +328,12 @@ class DiscoveryResult:
     timings: dict = field(default_factory=dict)
     #: Phase-1 statistics (backend name, event counts, trace bytes, ...)
     profile_stats: dict = field(default_factory=dict)
+    #: validate-phase reports (present when the engine ran with
+    #: ``config.validate``): one per transformable suggestion
+    validations: list[ValidationReport] = field(default_factory=list)
+    #: mean |predicted - measured|/measured speedup error over the
+    #: transforms that executed and validated identical (None = none did)
+    prediction_error: Optional[float] = None
 
     def loop_at(self, line: int) -> Optional[LoopInfo]:
         """The innermost analysed loop whose header is at ``line``."""
@@ -306,6 +370,8 @@ class DiscoveryResult:
             "suggestions": [s.to_dict() for s in self.suggestions],
             "timings": dict(self.timings),
             "profile_stats": dict(self.profile_stats),
+            "validations": [r.to_dict() for r in self.validations],
+            "prediction_error": self.prediction_error,
         }
 
     @classmethod
@@ -334,6 +400,11 @@ class DiscoveryResult:
             n_threads=data.get("n_threads", 4),
             timings=dict(data.get("timings") or {}),
             profile_stats=dict(data.get("profile_stats") or {}),
+            validations=[
+                ValidationReport.from_dict(r)
+                for r in (data.get("validations") or [])
+            ],
+            prediction_error=data.get("prediction_error"),
         )
 
 

@@ -55,6 +55,13 @@ class DiscoveryConfig:
     spill_dir: Optional[str] = None
     #: extra VM constructor keywords (quantum, instrument, ...)
     vm_kwargs: dict = field(default_factory=dict)
+    #: worker-pool width of the parallelize/validate phases
+    n_workers: int = 4
+    #: run the parallelize + validate phases as part of ``run()`` and
+    #: attach ValidationReports (and the prediction error) to the result
+    validate: bool = False
+    #: steps one worker executes per scheduler tick
+    parallel_quantum: int = 256
 
     def replace(self, **changes) -> "DiscoveryConfig":
         """A copy with the given fields changed (dataclasses.replace)."""
@@ -97,6 +104,9 @@ class DiscoveryConfig:
             "max_resident_chunks": self.max_resident_chunks,
             "spill_dir": self.spill_dir,
             "vm_kwargs": dict(self.vm_kwargs),
+            "n_workers": self.n_workers,
+            "validate": self.validate,
+            "parallel_quantum": self.parallel_quantum,
         }
 
     @classmethod
@@ -117,4 +127,7 @@ class DiscoveryConfig:
             max_resident_chunks=data.get("max_resident_chunks", 64),
             spill_dir=data.get("spill_dir"),
             vm_kwargs=dict(data.get("vm_kwargs") or {}),
+            n_workers=data.get("n_workers", 4),
+            validate=data.get("validate", False),
+            parallel_quantum=data.get("parallel_quantum", 256),
         )

@@ -14,6 +14,13 @@ stages as independently runnable, cached phases:
 * :meth:`DiscoveryEngine.rank`      — Phase 3: score + order suggestions for
   a thread count.  Cheap: re-ranking for a new ``n_threads`` reuses every
   cached upstream phase without re-executing the VM.
+* :meth:`DiscoveryEngine.parallelize` — Phase 4: transform ranked DOALL
+  loops and MPMD task graphs into executable parallel form
+  (:class:`~repro.parallelize.plan.TransformPlan`).
+* :meth:`DiscoveryEngine.validate`  — Phase 5: execute each transform on the
+  work-stealing scheduler and compare against the sequential run
+  (:class:`~repro.engine.artifacts.ValidationArtifact`); these runs count in
+  ``validation_runs``, not ``vm_runs``.
 
 Each phase returns a typed artifact (:mod:`repro.engine.artifacts`) and
 caches it on the engine; ``force=True`` re-runs a phase and invalidates its
@@ -44,10 +51,16 @@ from repro.engine.artifacts import (
     FunctionTaskAnalysis,
     ProfileArtifact,
     RankArtifact,
+    ValidationArtifact,
 )
 from repro.engine.config import DiscoveryConfig
 from repro.mir.lowering import compile_source
 from repro.mir.module import Module
+from repro.parallelize import (
+    build_transform_plan,
+    run_sequential_reference,
+    validate_plan,
+)
 from repro.profiler.backends import make_backend
 from repro.profiler.pet import PETBuilder
 from repro.profiler.serial import SerialProfiler
@@ -85,12 +98,21 @@ class DiscoveryEngine:
         self.module = module
         #: number of instrumented VM executions (the expensive phase)
         self.vm_runs = 0
+        #: number of validation executions (sequential reference + one
+        #: parallel run per feasible transform)
+        self.validation_runs = 0
         #: wall seconds of the most recent run of each phase
         self.timings: dict[str, float] = {}
         self._profile: Optional[ProfileArtifact] = None
         self._cus: Optional[CUArtifact] = None
         self._detect: Optional[DetectArtifact] = None
         self._rank: Optional[RankArtifact] = None
+        self._transform = None
+        self._validate: Optional[ValidationArtifact] = None
+        #: cached sequential reference run (module/entry/vm_kwargs are
+        #: fixed per engine, so one uninstrumented run serves every
+        #: worker-count sweep)
+        self._seq_ref = None
 
     @classmethod
     def from_source(cls, source: str, **overrides) -> "DiscoveryEngine":
@@ -110,6 +132,7 @@ class DiscoveryEngine:
             self._profile = self._run_profile()
             self.timings["profile"] = _time.perf_counter() - t0
             self._cus = self._detect = self._rank = None
+            self._transform = self._validate = None
         return self._profile
 
     def _run_profile(self) -> ProfileArtifact:
@@ -185,6 +208,7 @@ class DiscoveryEngine:
             )
             self.timings["build_cus"] = _time.perf_counter() - t0
             self._detect = self._rank = None
+            self._transform = self._validate = None
         return self._cus
 
     # ------------------------------------------------------------------
@@ -234,6 +258,7 @@ class DiscoveryEngine:
             )
             self.timings["detect"] = _time.perf_counter() - t0
             self._rank = None
+            self._transform = self._validate = None
         return self._detect
 
     def _analyze_container(self, name: str, region) -> FunctionTaskAnalysis:
@@ -285,7 +310,16 @@ class DiscoveryEngine:
     def rank(
         self, n_threads: Optional[int] = None, *, force: bool = False
     ) -> RankArtifact:
-        """Score and order suggestions; cheap to re-run per thread count."""
+        """Score and order suggestions; cheap to re-run per thread count.
+
+        With no ``n_threads``, an existing cached ranking is reused
+        whatever its thread count — downstream phases (parallelize,
+        validate) depend on *the* current ranking, not on a particular
+        count — so ``run(n_threads=8)`` validates against the 8-thread
+        suggestions it returns.
+        """
+        if n_threads is None and self._rank is not None and not force:
+            return self._rank
         n = n_threads if n_threads is not None else self.config.n_threads
         if self._rank is None or force or self._rank.n_threads != n:
             import time as _time
@@ -293,6 +327,7 @@ class DiscoveryEngine:
             t0 = _time.perf_counter()
             self._rank = self._run_rank(n)
             self.timings["rank"] = _time.perf_counter() - t0
+            self._transform = self._validate = None
         return self._rank
 
     def _run_rank(self, n_threads: int) -> RankArtifact:
@@ -381,6 +416,84 @@ class DiscoveryEngine:
         )
 
     # ------------------------------------------------------------------
+    # Phase 4: parallelize (suggestion-driven MIR transforms)
+    # ------------------------------------------------------------------
+
+    def parallelize(
+        self, n_workers: Optional[int] = None, *, force: bool = False
+    ):
+        """Transform ranked DOALL/MPMD suggestions into parallel form.
+
+        Returns the :class:`~repro.parallelize.plan.TransformPlan`: per
+        suggestion either the chunking/outlining recipe plus a transformed
+        module clone, or the reason the transform was declined.  Attaches a
+        ``transform`` summary to each planned suggestion.
+        """
+        workers = n_workers if n_workers is not None else self.config.n_workers
+        if (
+            self._transform is None
+            or force
+            or self._transform.n_workers != workers
+        ):
+            import time as _time
+
+            profile = self.profile()
+            ranked = self.rank()
+            t0 = _time.perf_counter()
+            self._transform = build_transform_plan(
+                self.module,
+                ranked.suggestions,
+                profile.control,
+                n_workers=workers,
+                name=self.config.name,
+            )
+            self.timings["parallelize"] = _time.perf_counter() - t0
+            self._validate = None
+        return self._transform
+
+    # ------------------------------------------------------------------
+    # Phase 5: validate (execute transforms, compare, measure)
+    # ------------------------------------------------------------------
+
+    def validate(
+        self, n_workers: Optional[int] = None, *, force: bool = False
+    ) -> ValidationArtifact:
+        """Execute every feasible transform and validate it bit-for-bit."""
+        workers = n_workers if n_workers is not None else self.config.n_workers
+        if (
+            self._validate is None
+            or force
+            or self._validate.n_workers != workers
+        ):
+            import time as _time
+
+            plan = self.parallelize(workers)
+            ranked = self.rank()
+            vm_kwargs = self.config.resolved_vm_kwargs()
+            t0 = _time.perf_counter()
+            if self._seq_ref is None:
+                self._seq_ref = run_sequential_reference(
+                    self.module, entry=self.config.entry, **vm_kwargs
+                )
+                self.validation_runs += 1
+            reports = validate_plan(
+                self.module,
+                plan,
+                n_workers=workers,
+                entry=self.config.entry,
+                suggestions=ranked.suggestions,
+                quantum=self.config.parallel_quantum,
+                vm_kwargs=vm_kwargs,
+                seq=self._seq_ref,
+            )
+            self.validation_runs += sum(1 for r in reports if r.feasible)
+            self._validate = ValidationArtifact(
+                n_workers=workers, reports=reports
+            )
+            self.timings["validate"] = _time.perf_counter() - t0
+        return self._validate
+
+    # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
 
@@ -390,6 +503,12 @@ class DiscoveryEngine:
         cus = self.build_cus()
         detect = self.detect()
         ranked = self.rank(n_threads)
+        validations = []
+        prediction_error = None
+        if self.config.validate:
+            artifact = self.validate()
+            validations = list(artifact.reports)
+            prediction_error = artifact.mean_abs_prediction_error
         return DiscoveryResult(
             module=self.module,
             return_value=profile.return_value,
@@ -408,6 +527,8 @@ class DiscoveryEngine:
             n_threads=ranked.n_threads,
             timings=dict(self.timings),
             profile_stats=dict(profile.stats),
+            validations=validations,
+            prediction_error=prediction_error,
         )
 
     #: alias mirroring the legacy function name

@@ -46,6 +46,10 @@ class Opcode:
     JOIN = "join"
     LOCK = "lock"
     UNLOCK = "unlock"
+    # parallel fork markers inserted by the parallelize transforms; only the
+    # parallelize scheduler (repro.parallelize.scheduler) executes them
+    PFORK = "pfork"  # DOALL chunk fork: a=plan-index, b=resume code index
+    PTASK = "ptask"  # task-graph fork:  a=plan-index, b=resume code index
 
     ALL = (
         CONST,
@@ -66,6 +70,8 @@ class Opcode:
         JOIN,
         LOCK,
         UNLOCK,
+        PFORK,
+        PTASK,
     )
 
 
@@ -90,6 +96,7 @@ class Instr:
         spawn  dest=reg|None      a=func-name  b=[operands]
         join                      a=operand
         lock/unlock               a=operand
+        pfork/ptask               a=plan-index b=resume-code-index
 
     Branch/jump targets are block labels during construction and are patched
     to linear code indices by :meth:`repro.mir.module.Function.finalize`.

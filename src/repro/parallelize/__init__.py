@@ -1,0 +1,56 @@
+"""Auto-parallelization subsystem: transform, execute, validate.
+
+Closes the discover → transform → execute → validate loop over the
+pipeline's ranked suggestions:
+
+* :mod:`repro.parallelize.plan`       — JSON-serializable
+  :class:`TransformPlan` artifacts describing what was (or could not be)
+  transformed.
+* :mod:`repro.parallelize.transforms` — MIR passes that outline DOALL
+  iteration chunks (privatized frame, reduction recognition) and task-graph
+  regions (spawn/join edges from the dependence store) into new functions,
+  splicing ``pfork``/``ptask`` markers into a cloned module.
+* :mod:`repro.parallelize.scheduler`  — :class:`ParallelVM`, a
+  work-stealing worker pool layered over the interpreter that executes the
+  forked tasks honoring task-graph edges, deterministically for a fixed
+  seed, and measures the simulated-unit makespan.
+* :mod:`repro.parallelize.validate`   — runs the sequential reference and
+  each transformed module, compares final memory/output state bit-for-bit
+  and records measured vs. :mod:`repro.simulate.exec_model`-predicted
+  speedup (:class:`ValidationReport`).
+"""
+
+from repro.parallelize.plan import (
+    ChunkSpec,
+    DoallPlan,
+    TaskPlan,
+    TaskSpec,
+    TransformPlan,
+)
+from repro.parallelize.scheduler import ParallelVM, SchedulerStats
+from repro.parallelize.transforms import build_transform_plan
+from repro.parallelize.validate import (
+    SequentialReference,
+    ValidationReport,
+    format_validation_table,
+    run_sequential_reference,
+    validate_entry,
+    validate_plan,
+)
+
+__all__ = [
+    "ChunkSpec",
+    "DoallPlan",
+    "ParallelVM",
+    "SchedulerStats",
+    "SequentialReference",
+    "TaskPlan",
+    "TaskSpec",
+    "TransformPlan",
+    "ValidationReport",
+    "build_transform_plan",
+    "format_validation_table",
+    "run_sequential_reference",
+    "validate_entry",
+    "validate_plan",
+]

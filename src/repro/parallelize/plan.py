@@ -1,0 +1,280 @@
+"""Transform-plan artifacts.
+
+A :class:`TransformPlan` is the JSON-serializable record of one
+parallelization attempt over a module: per suggestion, either a feasible
+:class:`DoallPlan`/:class:`TaskPlan` (what was outlined, how iterations were
+chunked, which spawn/join edges the scheduler must honor) or the reason the
+transform was declined.  The live transformed :class:`~repro.mir.module.Module`
+objects ride next to the plan in memory but are never serialized — a
+reloaded plan supports every report that needs only the data, mirroring the
+other engine artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ChunkSpec:
+    """One DOALL iteration chunk, in iteration-variable *value* space."""
+
+    index: int
+    #: first iteration-variable value of the chunk
+    lo: int
+    #: exclusive bound (first value past the chunk, step-signed)
+    hi: int
+    #: number of iterations the chunk executes
+    iterations: int
+    #: name of the outlined chunk function in the transformed module
+    function: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "lo": self.lo,
+            "hi": self.hi,
+            "iterations": self.iterations,
+            "function": self.function,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChunkSpec":
+        return cls(**data)
+
+
+@dataclass
+class DoallPlan:
+    """Iteration-chunking plan for one DOALL / DOALL(reduction) loop."""
+
+    region_id: int
+    func: str
+    start_line: int
+    end_line: int
+    kind: str = "DOALL"
+    feasible: bool = False
+    reason: Optional[str] = None
+    #: iteration variable: name, frame slot, initial value, constant step
+    iter_var: Optional[str] = None
+    iter_slot: int = -1
+    init_value: int = 0
+    step: int = 1
+    iterations: int = 0
+    #: iteration-variable value after the loop (restored on the parent)
+    final_value: int = 0
+    chunks: list[ChunkSpec] = field(default_factory=list)
+    #: recognized reductions: variable name -> frame slot (merged with +)
+    reduction_slots: dict[str, int] = field(default_factory=dict)
+    #: privatized locals (the whole frame is privatized; listed for reports)
+    private_vars: list[str] = field(default_factory=list)
+    #: lastprivate scalars: variable name -> frame slot (last chunk's final
+    #: value survives the join)
+    private_slots: dict[str, int] = field(default_factory=dict)
+    #: privatized global scalars: chunk frame slot -> global address the
+    #: merged value is written back to
+    global_homes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        return f"{self.func}:{self.start_line}-{self.end_line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "transform": "doall",
+            "region_id": self.region_id,
+            "func": self.func,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "kind": self.kind,
+            "feasible": self.feasible,
+            "reason": self.reason,
+            "iter_var": self.iter_var,
+            "iter_slot": self.iter_slot,
+            "init_value": self.init_value,
+            "step": self.step,
+            "iterations": self.iterations,
+            "final_value": self.final_value,
+            "chunks": [c.to_dict() for c in self.chunks],
+            "reduction_slots": dict(self.reduction_slots),
+            "private_vars": list(self.private_vars),
+            "private_slots": dict(self.private_slots),
+            "global_homes": {
+                str(slot): home for slot, home in self.global_homes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DoallPlan":
+        return cls(
+            region_id=data["region_id"],
+            func=data["func"],
+            start_line=data["start_line"],
+            end_line=data["end_line"],
+            kind=data["kind"],
+            feasible=data["feasible"],
+            reason=data["reason"],
+            iter_var=data["iter_var"],
+            iter_slot=data["iter_slot"],
+            init_value=data["init_value"],
+            step=data["step"],
+            iterations=data["iterations"],
+            final_value=data["final_value"],
+            chunks=[ChunkSpec.from_dict(c) for c in data["chunks"]],
+            reduction_slots=dict(data["reduction_slots"]),
+            private_vars=list(data["private_vars"]),
+            private_slots=dict(data.get("private_slots") or {}),
+            global_homes={
+                int(slot): home
+                for slot, home in (data.get("global_homes") or {}).items()
+            },
+        )
+
+
+@dataclass
+class TaskSpec:
+    """One outlined task-graph node."""
+
+    node_id: int
+    #: name of the outlined task function in the transformed module
+    function: str
+    #: node ids that must complete before this task may start (join edges)
+    deps: list[int] = field(default_factory=list)
+    #: profiled work of the node, in memory instructions
+    work: int = 0
+    lines: list[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "function": self.function,
+            "deps": list(self.deps),
+            "work": self.work,
+            "lines": list(self.lines),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskSpec":
+        return cls(
+            node_id=data["node_id"],
+            function=data["function"],
+            deps=list(data["deps"]),
+            work=data["work"],
+            lines=list(data["lines"]),
+        )
+
+
+@dataclass
+class TaskPlan:
+    """Task-region outlining plan for one MPMD task-graph suggestion."""
+
+    region_id: int
+    func: str
+    start_line: int
+    end_line: int
+    kind: str = "MPMD"
+    feasible: bool = False
+    reason: Optional[str] = None
+    tasks: list[TaskSpec] = field(default_factory=list)
+
+    @property
+    def location(self) -> str:
+        return f"{self.func}:{self.start_line}-{self.end_line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "transform": "taskgraph",
+            "region_id": self.region_id,
+            "func": self.func,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "kind": self.kind,
+            "feasible": self.feasible,
+            "reason": self.reason,
+            "tasks": [t.to_dict() for t in self.tasks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskPlan":
+        return cls(
+            region_id=data["region_id"],
+            func=data["func"],
+            start_line=data["start_line"],
+            end_line=data["end_line"],
+            kind=data["kind"],
+            feasible=data["feasible"],
+            reason=data["reason"],
+            tasks=[TaskSpec.from_dict(t) for t in data["tasks"]],
+        )
+
+
+def _entry_from_dict(data: dict):
+    if data["transform"] == "doall":
+        return DoallPlan.from_dict(data)
+    if data["transform"] == "taskgraph":
+        return TaskPlan.from_dict(data)
+    raise ValueError(f"unknown transform kind {data['transform']!r}")
+
+
+@dataclass
+class TransformPlan:
+    """Every planned transform of one module, feasible or not.
+
+    ``modules`` holds the live transformed module per feasible entry index
+    (one independently-rewritten clone per suggestion, so each validation
+    isolates one transform); it is not serialized.
+    """
+
+    name: str = "<module>"
+    n_workers: int = 4
+    entries: list = field(default_factory=list)
+    #: entry index -> transformed Module (live only)
+    modules: dict = field(default_factory=dict)
+
+    @property
+    def feasible_entries(self) -> list:
+        return [e for e in self.entries if e.feasible]
+
+    def to_dict(self) -> dict:
+        return {
+            "artifact": "transform_plan",
+            "name": self.name,
+            "n_workers": self.n_workers,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransformPlan":
+        return cls(
+            name=data["name"],
+            n_workers=data["n_workers"],
+            entries=[_entry_from_dict(e) for e in data["entries"]],
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"transform plan for {self.name} "
+            f"({len(self.feasible_entries)}/{len(self.entries)} feasible)"
+        ]
+        for entry in self.entries:
+            if entry.feasible:
+                if isinstance(entry, DoallPlan):
+                    detail = (
+                        f"{len(entry.chunks)} chunks x "
+                        f"~{entry.iterations // max(1, len(entry.chunks))} iters"
+                    )
+                    if entry.reduction_slots:
+                        detail += (
+                            " reduction("
+                            + ", ".join(sorted(entry.reduction_slots))
+                            + ")"
+                        )
+                else:
+                    detail = f"{len(entry.tasks)} tasks"
+                lines.append(f"  [{entry.kind}] {entry.location}: {detail}")
+            else:
+                lines.append(
+                    f"  [{entry.kind}] {entry.location}: "
+                    f"infeasible ({entry.reason})"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,356 @@
+"""Speedup validation: did the transform preserve semantics, and pay off?
+
+For every feasible plan entry the harness
+
+1. runs the *original* module once, uninstrumented, as the sequential
+   reference (final globals/heap segments, program output, return value,
+   and the total interpreter steps as the sequential work-unit cost);
+2. runs that entry's transformed module on a :class:`ParallelVM` with
+   ``n_workers`` workers;
+3. compares the final state **bit-for-bit**: return value, the entire
+   globals segment, the heap segment, and the program output (both exact
+   order and order-insensitive, since concurrent tasks may legitimately
+   interleave ``print``); and
+4. records the measured speedup in simulated work units and wall seconds
+   next to the :mod:`repro.simulate.exec_model` prediction for the same
+   suggestion — the *prediction error* becomes a first-class metric on
+   :class:`~repro.engine.artifacts.DiscoveryResult`.
+
+A validation that is not ``identical`` means the transform (or the
+discovery that licensed it) was wrong for this program — exactly the
+signal the paper's "potential parallelism" claims need.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mir.module import Module
+from repro.parallelize.plan import DoallPlan, TaskPlan, TransformPlan
+from repro.parallelize.scheduler import ParallelVM
+from repro.runtime.interpreter import VM
+from repro.simulate.exec_model import (
+    DEFAULT_MODEL,
+    simulate_doall,
+    simulate_task_graph,
+    whole_program_speedup,
+)
+
+
+@dataclass
+class SequentialReference:
+    """Final state + cost of the uninstrumented sequential run."""
+
+    return_value: object
+    globals_segment: list
+    heap_segment: list
+    output: list
+    units: int
+    wall: float
+
+
+def run_sequential_reference(
+    module: Module, *, entry: str = "main", **vm_kwargs
+) -> SequentialReference:
+    vm_kwargs.setdefault("instrument", False)
+    vm = VM(module, None, **vm_kwargs)
+    t0 = time.perf_counter()
+    value = vm.run(entry)
+    wall = time.perf_counter() - t0
+    return SequentialReference(
+        return_value=value,
+        globals_segment=list(vm.memory[: module.global_size]),
+        heap_segment=list(vm.memory[vm.layout.heap_base :]),
+        output=list(vm.output),
+        units=vm.total_steps,
+        wall=wall,
+    )
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of executing one transformed suggestion."""
+
+    kind: str
+    func: str
+    start_line: int
+    end_line: int
+    region_id: int
+    feasible: bool
+    reason: Optional[str] = None
+    n_workers: int = 0
+    #: state comparison against the sequential reference
+    identical: bool = False
+    return_match: bool = False
+    globals_match: bool = False
+    heap_match: bool = False
+    output_match: bool = False
+    #: exact-order output match (may be False while output_match is True
+    #: when concurrent tasks interleave prints)
+    output_order_match: bool = False
+    mismatches: list[str] = field(default_factory=list)
+    #: simulated work units (MIR instructions)
+    seq_units: int = 0
+    par_units: int = 0
+    measured_speedup: float = 0.0
+    #: wall seconds (interpreter overhead included; simulated units are
+    #: the headline metric)
+    seq_wall: float = 0.0
+    par_wall: float = 0.0
+    wall_speedup: float = 0.0
+    #: exec_model prediction of the *region's* local speedup
+    predicted_local_speedup: float = 0.0
+    #: exec_model prediction composed over the whole program (Amdahl with
+    #: the suggestion's instruction coverage) — comparable to ``measured``
+    predicted_speedup: float = 0.0
+    #: (predicted - measured) / measured
+    prediction_error: float = 0.0
+    scheduler: dict = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        return f"{self.func}:{self.start_line}-{self.end_line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "func": self.func,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "region_id": self.region_id,
+            "feasible": self.feasible,
+            "reason": self.reason,
+            "n_workers": self.n_workers,
+            "identical": self.identical,
+            "return_match": self.return_match,
+            "globals_match": self.globals_match,
+            "heap_match": self.heap_match,
+            "output_match": self.output_match,
+            "output_order_match": self.output_order_match,
+            "mismatches": list(self.mismatches),
+            "seq_units": self.seq_units,
+            "par_units": self.par_units,
+            "measured_speedup": self.measured_speedup,
+            "seq_wall": self.seq_wall,
+            "par_wall": self.par_wall,
+            "wall_speedup": self.wall_speedup,
+            "predicted_local_speedup": self.predicted_local_speedup,
+            "predicted_speedup": self.predicted_speedup,
+            "prediction_error": self.prediction_error,
+            "scheduler": dict(self.scheduler),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ValidationReport":
+        return cls(**data)
+
+    def render(self) -> str:
+        head = f"[{self.kind}] {self.location}"
+        if not self.feasible:
+            return f"{head}: not transformed ({self.reason})"
+        verdict = "IDENTICAL" if self.identical else "STATE MISMATCH"
+        lines = [
+            f"{head}: {verdict} on {self.n_workers} workers",
+            f"  speedup: measured {self.measured_speedup:.2f}x "
+            f"(simulated units {self.seq_units} -> {self.par_units}), "
+            f"predicted {self.predicted_speedup:.2f}x, "
+            f"error {self.prediction_error:+.1%}",
+            f"  wall: {self.seq_wall * 1e3:.1f}ms -> "
+            f"{self.par_wall * 1e3:.1f}ms",
+        ]
+        for mismatch in self.mismatches[:4]:
+            lines.append(f"  mismatch: {mismatch}")
+        return "\n".join(lines)
+
+
+def _predict(entry, n_workers: int, suggestion=None) -> float:
+    """exec_model prediction for one plan entry."""
+    if isinstance(entry, DoallPlan):
+        iters = max(1, entry.iterations)
+        if suggestion is not None and suggestion.loop is not None:
+            body = suggestion.loop.instructions
+        else:
+            body = iters
+        per_iter = max(1.0, body / iters)
+        return simulate_doall([per_iter] * iters, n_workers, DEFAULT_MODEL)
+    if isinstance(entry, TaskPlan):
+        if suggestion is not None and suggestion.task_graph is not None:
+            return simulate_task_graph(
+                suggestion.task_graph, n_workers, DEFAULT_MODEL
+            )
+        # reconstruct a graph-free bound from the specs: work over the
+        # heaviest dependence chain
+        total = sum(t.work for t in entry.tasks) or 1
+        best: dict[int, int] = {}
+        for spec in sorted(entry.tasks, key=lambda t: t.node_id):
+            incoming = max((best.get(d, 0) for d in spec.deps), default=0)
+            best[spec.node_id] = incoming + max(1, spec.work)
+        cp = max(best.values(), default=1)
+        return total / cp
+    return 1.0
+
+
+def _compare(report: ValidationReport, seq: SequentialReference, vm, module):
+    par_globals = list(vm.memory[: module.global_size])
+    par_heap = list(vm.memory[vm.layout.heap_base :])
+    report.globals_match = par_globals == seq.globals_segment
+    report.heap_match = par_heap == seq.heap_segment
+    report.output_order_match = list(vm.output) == seq.output
+    report.output_match = sorted(map(repr, vm.output)) == sorted(
+        map(repr, seq.output)
+    )
+    if not report.globals_match:
+        diffs = [
+            i
+            for i, (a, b) in enumerate(
+                zip(par_globals, seq.globals_segment)
+            )
+            if a != b
+        ]
+        report.mismatches.append(
+            f"globals differ at {len(diffs)} addresses "
+            f"(first: {diffs[:5]})"
+        )
+    if not report.heap_match:
+        report.mismatches.append("heap segment differs")
+    if not report.output_match:
+        report.mismatches.append(
+            f"output differs ({len(vm.output)} vs {len(seq.output)} records)"
+        )
+    if not report.return_match:
+        report.mismatches.append("return value differs")
+    report.identical = (
+        report.return_match
+        and report.globals_match
+        and report.heap_match
+        and report.output_match
+    )
+
+
+def validate_entry(
+    plan: TransformPlan,
+    index: int,
+    seq: SequentialReference,
+    *,
+    n_workers: Optional[int] = None,
+    entry_func: str = "main",
+    suggestion=None,
+    quantum: int = 256,
+    vm_kwargs: Optional[dict] = None,
+) -> ValidationReport:
+    """Execute and validate one plan entry against the sequential run."""
+    vm_kwargs = dict(vm_kwargs or {})
+    # the scheduler drives threads with its own tick quantum
+    vm_kwargs.pop("quantum", None)
+    plan_entry = plan.entries[index]
+    workers = n_workers if n_workers is not None else plan.n_workers
+    report = ValidationReport(
+        kind=plan_entry.kind,
+        func=plan_entry.func,
+        start_line=plan_entry.start_line,
+        end_line=plan_entry.end_line,
+        region_id=plan_entry.region_id,
+        feasible=plan_entry.feasible,
+        reason=plan_entry.reason,
+        n_workers=workers,
+    )
+    if not plan_entry.feasible:
+        return report
+    module = plan.modules.get(index)
+    if module is None:
+        report.feasible = False
+        report.reason = "transformed module not available (reloaded plan?)"
+        return report
+
+    vm = ParallelVM(
+        module, plan, n_workers=workers, quantum=quantum, **vm_kwargs
+    )
+    t0 = time.perf_counter()
+    try:
+        value = vm.run(entry_func)
+    except Exception as exc:  # runtime failure is a validation failure
+        report.mismatches.append(f"parallel execution failed: {exc}")
+        report.reason = f"execution failed: {exc}"
+        return report
+    report.par_wall = time.perf_counter() - t0
+    report.return_match = value == seq.return_value
+    _compare(report, seq, vm, module)
+
+    report.seq_units = seq.units
+    report.par_units = vm.stats.makespan_units
+    report.measured_speedup = (
+        seq.units / vm.stats.makespan_units
+        if vm.stats.makespan_units
+        else 0.0
+    )
+    report.seq_wall = seq.wall
+    report.wall_speedup = (
+        seq.wall / report.par_wall if report.par_wall else 0.0
+    )
+    local = _predict(plan_entry, workers, suggestion)
+    report.predicted_local_speedup = local
+    coverage = None
+    if suggestion is not None and suggestion.scores is not None:
+        coverage = suggestion.scores.instruction_coverage
+    if coverage is not None:
+        report.predicted_speedup = whole_program_speedup([(coverage, local)])
+    else:
+        report.predicted_speedup = local
+    if report.measured_speedup > 0:
+        report.prediction_error = (
+            report.predicted_speedup - report.measured_speedup
+        ) / report.measured_speedup
+    report.scheduler = vm.stats.to_dict()
+    return report
+
+
+def validate_plan(
+    module: Module,
+    plan: TransformPlan,
+    *,
+    n_workers: Optional[int] = None,
+    entry: str = "main",
+    suggestions: Optional[list] = None,
+    quantum: int = 256,
+    seed: int = 12345,
+    vm_kwargs: Optional[dict] = None,
+    seq: Optional[SequentialReference] = None,
+) -> list[ValidationReport]:
+    """Validate every plan entry (one parallel run per feasible entry).
+
+    ``seq`` lets callers reuse a cached sequential reference — it depends
+    only on (module, entry, vm_kwargs), not on the plan or worker count.
+    """
+    base_kwargs = dict(vm_kwargs or {})
+    base_kwargs.setdefault("seed", seed)
+    if seq is None:
+        seq = run_sequential_reference(module, entry=entry, **base_kwargs)
+    by_index: dict[int, object] = {}
+    if suggestions:
+        for s in suggestions:
+            info = getattr(s, "transform", None)
+            if info and info.get("plan_index") is not None:
+                by_index[info["plan_index"]] = s
+    reports = []
+    for index in range(len(plan.entries)):
+        reports.append(
+            validate_entry(
+                plan,
+                index,
+                seq,
+                n_workers=n_workers,
+                entry_func=entry,
+                suggestion=by_index.get(index),
+                quantum=quantum,
+                vm_kwargs=base_kwargs,
+            )
+        )
+    return reports
+
+
+def format_validation_table(reports: list[ValidationReport]) -> str:
+    if not reports:
+        return "(nothing to validate: no transformable suggestions)"
+    return "\n\n".join(r.render() for r in reports)

@@ -95,6 +95,9 @@ RUNNABLE = 0
 BLOCKED_LOCK = 1
 BLOCKED_JOIN = 2
 DONE = 3
+#: parent suspended on a pfork/ptask until every forked task completes
+#: (only the parallelize scheduler ever sets this)
+BLOCKED_FORK = 4
 
 
 class ThreadState:
@@ -350,6 +353,19 @@ class VM:
         else:
             thread.return_value = value
             thread.status = DONE
+
+    def _parallel_op(self, thread: ThreadState, instr) -> None:
+        """Execute a ``pfork``/``ptask`` marker.
+
+        Only modules rewritten by :mod:`repro.parallelize.transforms` contain
+        these instructions, and only the parallelize scheduler
+        (:class:`repro.parallelize.scheduler.ParallelVM`) knows how to fork
+        their tasks — the plain VM refuses loudly instead of misexecuting.
+        """
+        raise VMError(
+            f"{instr.op!r} requires the parallelize scheduler "
+            "(repro.parallelize.scheduler.ParallelVM)"
+        )
 
     def _close_region_entry(self, thread: ThreadState, frame: Frame, entry) -> None:
         region_id, kind, _start = entry
@@ -664,6 +680,12 @@ class VM:
                         woken = waiters.popleft()
                         self.threads[woken].status = RUNNABLE
                         self.threads[woken].wait_target = None
+                elif op == "pfork" or op == "ptask":
+                    # parallelize transform markers: the scheduler subclass
+                    # forks tasks and decides where the thread resumes
+                    thread.pc = pc - 1
+                    self._parallel_op(thread, instr)
+                    break
                 else:  # pragma: no cover - exhaustive
                     raise VMError(f"unknown opcode {op!r}")
             else:

@@ -43,8 +43,12 @@ def simulate_doall(
     possible" (§1.3.3's description of auto-parallelizers, which the
     paper's suggestions target).
     """
+    if not iteration_costs or n_threads <= 1:
+        # nothing to divide, or no parallelism requested: running the loop
+        # unchanged costs exactly the sequential time
+        return 1.0
     total = float(sum(iteration_costs))
-    if total <= 0 or not iteration_costs:
+    if total <= 0:
         return 1.0
     n = max(1, min(n_threads, len(iteration_costs)))
     # static block partition

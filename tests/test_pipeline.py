@@ -307,6 +307,39 @@ class TestSpillingTraceSink:
         restored = load_trace(str(path))
         assert list(restored.events()) == list(trace.events())
 
+    def test_reloaded_spilled_trace_drives_cu_construction(self, tmp_path):
+        """A spilled multi-segment trace, persisted and reloaded with
+        ``load_trace``, must drive CU construction exactly like the
+        fully-resident recording."""
+        workload = get_workload(TEXTBOOK)
+        module = workload.compile(1)
+
+        resident = TraceSink()
+        vm = VM(module, resident, chunk_format="columnar", chunk_size=256)
+        vm.run(workload.entry)
+
+        spilling = SpillingTraceSink(4, spill_dir=str(tmp_path / "spill"))
+        vm2 = VM(module, spilling, chunk_format="columnar", chunk_size=256)
+        vm2.run(workload.entry)
+        assert spilling.n_spilled_chunks > 1  # multi-segment on disk
+
+        path = tmp_path / "trace.npz"
+        spilling.save(str(path))
+        reloaded = load_trace(str(path))
+        assert reloaded.n_events == resident.n_events
+
+        registries = {}
+        for tag, trace in (("resident", resident), ("reloaded", reloaded)):
+            builder = TopDownBuilder(module)
+            builder.process_chunks(trace.iter_chunks())
+            registries[tag] = (builder.build(), dict(builder.line_counts))
+        assert registries["resident"][1] == registries["reloaded"][1]
+        assert (
+            registries["resident"][0].to_dict()
+            == registries["reloaded"][0].to_dict()
+        )
+        spilling.close()
+
 
 class TestEngineIntegration:
     def test_spilling_engine_matches_resident(self):
