@@ -1,0 +1,51 @@
+"""VM dispatch bench: compiled closure-specialized core vs. switch loop.
+
+Seeds ``benchmarks/out/BENCH_vm.json`` — the first entry of the VM
+performance trajectory (the artifact ``repro bench --suite vm`` also
+produces).  Measures, per workload and dispatch core: instrumented
+recording wall time (traces must stay bit-identical), untraced execution
+(the validate/scheduler path), and end-to-end engine ``profile()`` wall
+time.  The gated trajectory numbers are the geomeans over the loop-nest
+trio (pi, EP, mandelbrot); fft rides along ungated as the call-bound
+recursion reference point.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.engine.bench import format_vm_table, run_vm_bench
+
+
+def test_vm_dispatch_throughput(benchmark):
+    result = benchmark.pedantic(
+        run_vm_bench,
+        kwargs={"reps": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit("BENCH_vm", format_vm_table(result))
+    (OUT_DIR / "BENCH_vm.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    # hard floors of the compiled-dispatch overhaul: the compiled core
+    # must reproduce the switch core's traces, states, and dependence
+    # stores exactly, and stay >= 2x ahead on instrumented recording
+    assert result["all_traces_identical"]
+    assert result["all_stores_identical"]
+    assert result["traced_speedup_geomean"] >= 2.0
+    # the engine's profile() phase also runs the (dispatch-independent)
+    # dependence profiler, so its end-to-end floor is lower
+    assert result["profile_speedup_geomean"] >= 1.25
+
+
+if __name__ == "__main__":
+    result = run_vm_bench()
+    print(format_vm_table(result))
+    (OUT_DIR / "BENCH_vm.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    (OUT_DIR / "BENCH_vm.txt").write_text(
+        format_vm_table(result) + "\n"
+    )

@@ -11,6 +11,7 @@ The unified ``repro`` command drives the staged engine::
     repro report   --load out.json    # re-render a saved result, no re-run
     repro batch    fib sort CG --jobs 4 --format json
     repro bench    [--quick]          # tuple vs columnar event throughput
+    repro bench    --suite vm --quick # compiled vs switch dispatch cores
 
 Every subcommand supports ``--format json`` (machine-readable artifact
 dicts, see :mod:`repro.engine.artifacts`) and ``--save PATH`` to persist
@@ -74,6 +75,13 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         help="event chunk representation",
     )
     parser.add_argument(
+        "--dispatch",
+        choices=("compiled", "switch"),
+        default="compiled",
+        help="VM execution core (compiled: closure-specialized "
+             "superinstruction dispatch; switch: the reference loop)",
+    )
+    parser.add_argument(
         "--spill-trace",
         action="store_true",
         help="bound trace memory by spilling chunks to disk",
@@ -112,6 +120,7 @@ def _config_from_args(args, source: str, name: str):
         seed=args.seed,
         backend=getattr(args, "backend", "serial"),
         chunk_format=getattr(args, "chunk_format", "columnar"),
+        dispatch=getattr(args, "dispatch", "compiled"),
         spill_trace=getattr(args, "spill_trace", False),
         max_resident_chunks=getattr(args, "max_resident_chunks", 64),
     )
@@ -255,6 +264,8 @@ def cmd_parallelize(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.suite == "vm":
+        return _bench_vm(args)
     from repro.engine.bench import format_pipeline_table, run_pipeline_bench
 
     result = run_pipeline_bench(
@@ -279,6 +290,58 @@ def cmd_bench(args) -> int:
             f"; FAIL: columnar/tuple throughput geomean "
             f"{result['throughput_ratio_geomean']:.2f} "
             f"below required {args.min_ratio:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _bench_vm(args) -> int:
+    """``repro bench --suite vm``: compiled vs switch dispatch cores."""
+    from repro.engine.bench import format_vm_table, run_vm_bench
+
+    result = run_vm_bench(
+        args.workloads or None,
+        scale=args.scale,
+        reps=args.reps,
+        quick=args.quick,
+        chunk_size=args.chunk_size,
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=1))
+    else:
+        print(format_vm_table(result))
+    with open(args.save, "w") as handle:
+        json.dump(result, handle, indent=1)
+    print(f"; saved vm bench -> {args.save}", file=sys.stderr)
+    if not result["all_traces_identical"]:
+        print(
+            "; FAIL: compiled and switch traces/states differ",
+            file=sys.stderr,
+        )
+        return 1
+    if not result["all_stores_identical"]:
+        print(
+            "; FAIL: compiled and switch dependence stores differ",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_ratio and result["traced_speedup_geomean"] < args.min_ratio:
+        print(
+            f"; FAIL: compiled/switch traced geomean "
+            f"{result['traced_speedup_geomean']:.2f} "
+            f"below required {args.min_ratio:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_profile_ratio
+        and result["profile_speedup_geomean"] < args.min_profile_ratio
+    ):
+        print(
+            f"; FAIL: end-to-end profile geomean "
+            f"{result['profile_speedup_geomean']:.2f} "
+            f"below required {args.min_profile_ratio:.2f}",
             file=sys.stderr,
         )
         return 1
@@ -409,21 +472,32 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_parallelize)
 
     p = sub.add_parser(
-        "bench", help="event-pipeline bench: tuple vs columnar throughput"
+        "bench",
+        help="performance benches: event pipeline or VM dispatch cores",
     )
     p.add_argument("workloads", nargs="*",
-                   help="registry workloads (default: pi EP fft)")
+                   help="registry workloads (default: the suite's trio)")
+    p.add_argument("--suite", choices=("pipeline", "vm"),
+                   default="pipeline",
+                   help="pipeline: tuple vs columnar chunks; "
+                        "vm: switch vs compiled dispatch")
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--reps", type=int, default=3,
-                   help="profiling repetitions per format (best-of)")
+                   help="repetitions per measurement (best-of)")
     p.add_argument("--quick", action="store_true",
-                   help="CI smoke mode: fewer reps, enforce --min-ratio")
+                   help="CI smoke mode: fewer reps, enforce the ratio "
+                        "floors")
     p.add_argument("--chunk-size", type=int, default=4096)
     p.add_argument("--min-ratio", type=float, default=None,
-                   help="fail if columnar/tuple geomean falls below this "
-                        "(default: 1.5 with --quick, off otherwise)")
-    p.add_argument("--save", metavar="PATH", default="BENCH_pipeline.json",
-                   help="write the JSON result here")
+                   help="fail below this geomean (default with --quick: "
+                        "1.5 pipeline columnar/tuple, 2.0 vm "
+                        "compiled/switch; off otherwise)")
+    p.add_argument("--min-profile-ratio", type=float, default=None,
+                   help="vm suite: fail if end-to-end profile geomean "
+                        "falls below this (default: 1.25 with --quick)")
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="write the JSON result here "
+                        "(default: BENCH_<suite>.json)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(func=cmd_bench)
 
@@ -449,8 +523,14 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_batch)
 
     args = parser.parse_args(argv)
-    if args.command == "bench" and args.min_ratio is None:
-        args.min_ratio = 1.5 if args.quick else 0.0
+    if args.command == "bench":
+        if args.min_ratio is None:
+            floor = 2.0 if args.suite == "vm" else 1.5
+            args.min_ratio = floor if args.quick else 0.0
+        if args.min_profile_ratio is None:
+            args.min_profile_ratio = 1.25 if args.quick else 0.0
+        if args.save is None:
+            args.save = f"BENCH_{args.suite}.json"
     return args.func(args)
 
 

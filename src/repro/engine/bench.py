@@ -1,8 +1,18 @@
-"""Event-pipeline benchmark: tuple vs. columnar chunk formats.
+"""Performance benchmarks: the event pipeline and the VM dispatch cores.
 
-Seeds the repository's performance trajectory with a reproducible
-measurement of the hottest path — pushing the instrumentation event stream
-through the dependence profiler:
+Two suites live here:
+
+* **pipeline** (:func:`run_pipeline_bench`) — tuple vs. columnar chunk
+  formats through the dependence profiler (the PR-2 trajectory seed,
+  ``BENCH_pipeline.json``).
+* **vm** (:func:`run_vm_bench`) — switch vs. compiled dispatch
+  (:mod:`repro.runtime.compile`): instrumented recording throughput with
+  bit-identical traces, untraced execution (the validate/scheduler
+  path), and end-to-end engine ``profile()`` wall time
+  (``BENCH_vm.json``).
+
+The pipeline suite measures the hottest consumer path — pushing the
+instrumentation event stream through the dependence profiler:
 
 * **events/sec** — a workload's trace is recorded once per format, then
   profiled with a fresh :class:`~repro.profiler.serial.SerialProfiler`
@@ -148,6 +158,225 @@ def run_pipeline_bench(
         "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "quick": quick,
     }
+
+
+# ---------------------------------------------------------------------------
+# the VM dispatch suite
+# ---------------------------------------------------------------------------
+
+#: the VM bench trio: loop-nest workloads whose hot path is dispatch
+#: bound — one textbook, one NAS, one apps-chapter program.  The gated
+#: trajectory number is their geomean.
+VM_BENCH_WORKLOADS = ("pi", "EP", "mandelbrot")
+
+#: reported alongside but not gated: deep recursion is frame-machinery
+#: bound, where both cores share most of the cost
+VM_BENCH_EXTRA = ("fft",)
+
+
+def _trace_rows(trace):
+    import numpy as np
+
+    return np.concatenate([chunk.rows for chunk in trace.chunks])
+
+
+def bench_vm_workload(
+    name: str,
+    *,
+    scale: int = 1,
+    reps: int = 3,
+    chunk_size: int = 4096,
+    gated: bool = True,
+) -> dict:
+    """Measure one workload under both dispatch cores."""
+    import numpy as np
+
+    from repro.workloads import get_workload
+
+    workload = get_workload(name)
+    module = workload.compile(scale)
+    row: dict = {"workload": name, "scale": scale, "gated": gated}
+
+    # -- instrumented recording (trace production) ---------------------
+    traces = {}
+    states = {}
+    for dispatch in ("switch", "compiled"):
+        best = float("inf")
+        first = None
+        for _ in range(reps):
+            trace = TraceSink()
+            vm = VM(
+                module, trace, chunk_format="columnar",
+                dispatch=dispatch, chunk_size=chunk_size,
+            )
+            t0 = time.perf_counter()
+            vm.run(workload.entry)
+            wall = time.perf_counter() - t0
+            if first is None:
+                first = wall  # includes one-time closure compilation
+            best = min(best, wall)
+        traces[dispatch] = (trace, vm)
+        states[dispatch] = (vm.memory, vm.output, vm.total_steps)
+        row[dispatch] = {
+            "record_seconds": best,
+            "first_run_seconds": first,
+            "events": len(trace),
+            "events_per_sec": len(trace) / best if best else 0.0,
+        }
+    rows_s = _trace_rows(traces["switch"][0])
+    rows_c = _trace_rows(traces["compiled"][0])
+    row["trace_identical"] = bool(
+        np.array_equal(rows_s, rows_c)
+        and traces["switch"][1].strings.values
+        == traces["compiled"][1].strings.values
+        and [len(c) for c in traces["switch"][0].chunks]
+        == [len(c) for c in traces["compiled"][0].chunks]
+    )
+    row["state_identical"] = states["switch"] == states["compiled"]
+    row["steps"] = states["compiled"][2]
+    row["traced_speedup"] = (
+        row["switch"]["record_seconds"] / row["compiled"]["record_seconds"]
+        if row["compiled"]["record_seconds"]
+        else 0.0
+    )
+
+    # -- untraced execution (validate / scheduler path) ----------------
+    untraced = {}
+    for dispatch in ("switch", "compiled"):
+        best = float("inf")
+        for _ in range(reps):
+            vm = VM(
+                module, None, dispatch=dispatch, instrument=False,
+            )
+            t0 = time.perf_counter()
+            vm.run(workload.entry)
+            best = min(best, time.perf_counter() - t0)
+        untraced[dispatch] = best
+    row["untraced"] = {
+        "switch_seconds": untraced["switch"],
+        "compiled_seconds": untraced["compiled"],
+        "speedup": (
+            untraced["switch"] / untraced["compiled"]
+            if untraced["compiled"]
+            else 0.0
+        ),
+    }
+
+    # -- end-to-end engine profile() -----------------------------------
+    from repro.engine.config import DiscoveryConfig
+    from repro.engine.core import DiscoveryEngine
+
+    profile_row: dict = {}
+    stores = {}
+    for dispatch in ("switch", "compiled"):
+        best = float("inf")
+        stats = None
+        for _ in range(reps):
+            engine = DiscoveryEngine(
+                config=DiscoveryConfig(
+                    source=workload.source(scale), name=name,
+                    entry=workload.entry, dispatch=dispatch,
+                )
+            )
+            artifact = engine.profile()
+            best = min(best, engine.timings["profile"])
+            stats = artifact.stats
+        stores[dispatch] = artifact.store.to_dict()
+        profile_row[f"{dispatch}_seconds"] = best
+        profile_row[f"{dispatch}_events_per_sec"] = stats[
+            "vm_events_per_sec"
+        ]
+    profile_row["speedup"] = (
+        profile_row["switch_seconds"] / profile_row["compiled_seconds"]
+        if profile_row["compiled_seconds"]
+        else 0.0
+    )
+    profile_row["stores_identical"] = (
+        stores["switch"] == stores["compiled"]
+    )
+    row["profile"] = profile_row
+    return row
+
+
+def run_vm_bench(
+    workloads=None,
+    *,
+    scale: int = 1,
+    reps: int = 3,
+    quick: bool = False,
+    chunk_size: int = 4096,
+) -> dict:
+    """Benchmark the dispatch cores; geomeans computed over gated rows.
+
+    The headline numbers: ``traced_speedup_geomean`` (instrumented
+    recording, compiled over switch, traces bit-identical) and
+    ``profile_speedup_geomean`` (end-to-end engine profile phase).
+    """
+    if workloads:
+        names = [(w, True) for w in workloads]
+    else:
+        names = [(w, True) for w in VM_BENCH_WORKLOADS] + [
+            (w, False) for w in VM_BENCH_EXTRA
+        ]
+    if quick:
+        reps = max(2, reps - 1)
+    rows = [
+        bench_vm_workload(
+            name, scale=scale, reps=reps, chunk_size=chunk_size,
+            gated=gated,
+        )
+        for name, gated in names
+    ]
+    gated_rows = [r for r in rows if r["gated"]]
+    traced = [r["traced_speedup"] for r in gated_rows]
+    untraced = [r["untraced"]["speedup"] for r in gated_rows]
+    profile = [r["profile"]["speedup"] for r in gated_rows]
+    return {
+        "bench": "vm",
+        "workloads": rows,
+        "gated": [r["workload"] for r in gated_rows],
+        "traced_speedup_geomean": _geomean(traced),
+        "traced_speedup_min": min(traced) if traced else 0.0,
+        "untraced_speedup_geomean": _geomean(untraced),
+        "profile_speedup_geomean": _geomean(profile),
+        "all_traces_identical": all(
+            r["trace_identical"] and r["state_identical"] for r in rows
+        ),
+        "all_stores_identical": all(
+            r["profile"]["stores_identical"] for r in rows
+        ),
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "quick": quick,
+    }
+
+
+def format_vm_table(result: dict) -> str:
+    """Fixed-width rendering in the benchmarks/out house style."""
+    header = (
+        f"{'workload':12s} {'events':>8s} {'switch eps':>11s} "
+        f"{'compiled eps':>13s} {'traced':>7s} {'untraced':>9s} "
+        f"{'profile':>8s} {'identical':>9s} {'gated':>5s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result["workloads"]:
+        lines.append(
+            f"{row['workload']:12s} {row['switch']['events']:8d} "
+            f"{row['switch']['events_per_sec']:11.0f} "
+            f"{row['compiled']['events_per_sec']:13.0f} "
+            f"{row['traced_speedup']:6.2f}x "
+            f"{row['untraced']['speedup']:8.2f}x "
+            f"{row['profile']['speedup']:7.2f}x "
+            f"{str(row['trace_identical']):>9s} "
+            f"{str(row['gated']):>5s}"
+        )
+    lines.append(
+        f"gated geomean: traced {result['traced_speedup_geomean']:.2f}x "
+        f"(min {result['traced_speedup_min']:.2f}x), untraced "
+        f"{result['untraced_speedup_geomean']:.2f}x, profile "
+        f"{result['profile_speedup_geomean']:.2f}x; peak RSS "
+        f"{result['ru_maxrss_kb']} kB"
+    )
+    return "\n".join(lines)
 
 
 def format_pipeline_table(result: dict) -> str:

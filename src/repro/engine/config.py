@@ -47,6 +47,10 @@ class DiscoveryConfig:
     #: event chunk representation: "columnar" (packed numpy chunks) or
     #: "tuple" (legacy per-event tuples)
     chunk_format: str = "columnar"
+    #: VM execution core: "compiled" (closure-specialized dispatch with
+    #: fused superinstructions, see :mod:`repro.runtime.compile`) or
+    #: "switch" (the bit-exact string-dispatch reference loop)
+    dispatch: str = "compiled"
     #: bound trace memory: spill all but the newest chunks to disk
     spill_trace: bool = False
     #: resident chunk window of the spilling sink
@@ -71,6 +75,7 @@ class DiscoveryConfig:
         kwargs = dict(self.vm_kwargs)
         if self.seed is not None:
             kwargs.setdefault("seed", self.seed)
+        kwargs.setdefault("dispatch", self.dispatch)
         return kwargs
 
     def resolved_backend_options(self) -> dict:
@@ -100,6 +105,7 @@ class DiscoveryConfig:
             "backend": self.backend,
             "backend_options": dict(self.backend_options),
             "chunk_format": self.chunk_format,
+            "dispatch": self.dispatch,
             "spill_trace": self.spill_trace,
             "max_resident_chunks": self.max_resident_chunks,
             "spill_dir": self.spill_dir,
@@ -123,6 +129,7 @@ class DiscoveryConfig:
             backend=data.get("backend", "serial"),
             backend_options=dict(data.get("backend_options") or {}),
             chunk_format=data.get("chunk_format", "columnar"),
+            dispatch=data.get("dispatch", "compiled"),
             spill_trace=data.get("spill_trace", False),
             max_resident_chunks=data.get("max_resident_chunks", 64),
             spill_dir=data.get("spill_dir"),

@@ -67,6 +67,7 @@ from repro.profiler.serial import SerialProfiler
 from repro.profiler.shadow import PerfectShadow
 from repro.runtime.events import SpillingTraceSink, TraceSink
 from repro.runtime.interpreter import VM
+from repro.simulate.exec_model import collect_iteration_costs
 
 #: a task graph must promise at least this inherent speedup to be suggested
 MPMD_MIN_SPEEDUP = 1.2
@@ -161,10 +162,23 @@ class DiscoveryEngine:
         )
         backend.sig_decoder = vm.loop_signature
         self.vm_runs += 1
+        import time as _time
+
+        t0 = _time.perf_counter()
         return_value = vm.run(config.entry)
+        vm_wall = _time.perf_counter() - t0
+        # per-variant wall time: the instrumented execution (event
+        # staging and sink processing included) under the core that ran
+        self.timings[f"vm_{vm.effective_dispatch}"] = vm_wall
         result = backend.finish()
         stats = dict(result.stats)
         stats["chunk_format"] = config.chunk_format
+        stats["dispatch"] = vm.effective_dispatch
+        stats["vm_wall_seconds"] = vm_wall
+        stats["vm_events_per_sec"] = (
+            trace.n_events / vm_wall if vm_wall > 0 else 0.0
+        )
+        stats["vm_steps"] = vm.total_steps
         stats["trace_events"] = trace.n_events
         stats["trace_nbytes"] = trace.nbytes
         if isinstance(trace, SpillingTraceSink):
@@ -476,6 +490,19 @@ class DiscoveryEngine:
                     self.module, entry=self.config.entry, **vm_kwargs
                 )
                 self.validation_runs += 1
+            # per-iteration cost profiles of the DOALL regions, from the
+            # cached trace (one scan for every region): the exec model
+            # then predicts with the real chunk work distribution
+            # instead of a uniform estimate
+            profile = self.profile()
+            iteration_costs = collect_iteration_costs(
+                profile.trace,
+                {
+                    entry.region_id
+                    for entry in plan.feasible_entries
+                    if getattr(entry, "chunks", None)
+                },
+            )
             reports = validate_plan(
                 self.module,
                 plan,
@@ -485,6 +512,7 @@ class DiscoveryEngine:
                 quantum=self.config.parallel_quantum,
                 vm_kwargs=vm_kwargs,
                 seq=self._seq_ref,
+                iteration_costs=iteration_costs,
             )
             self.validation_runs += sum(1 for r in reports if r.feasible)
             self._validate = ValidationArtifact(

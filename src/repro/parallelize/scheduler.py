@@ -173,7 +173,9 @@ class ParallelVM(VM):
         else:
             tid = len(self.threads)
             self.threads.append(None)  # placeholder, replaced below
-        thread = ThreadState(tid, self.layout.stack_base(tid))
+        thread = ThreadState(
+            tid, self.layout.stack_base(tid), self.layout.stack_limit(tid)
+        )
         self.threads[tid] = thread
         return thread
 

@@ -165,16 +165,28 @@ class ValidationReport:
         return "\n".join(lines)
 
 
-def _predict(entry, n_workers: int, suggestion=None) -> float:
+def _predict(
+    entry, n_workers: int, suggestion=None, iteration_costs=None
+) -> float:
     """exec_model prediction for one plan entry."""
     if isinstance(entry, DoallPlan):
+        n_chunks = len(entry.chunks) or None
+        if iteration_costs:
+            # the trace-measured per-iteration distribution, chunked at
+            # the transform's real granularity
+            return simulate_doall(
+                iteration_costs, n_workers, DEFAULT_MODEL,
+                n_chunks=n_chunks,
+            )
         iters = max(1, entry.iterations)
         if suggestion is not None and suggestion.loop is not None:
             body = suggestion.loop.instructions
         else:
             body = iters
         per_iter = max(1.0, body / iters)
-        return simulate_doall([per_iter] * iters, n_workers, DEFAULT_MODEL)
+        return simulate_doall(
+            [per_iter] * iters, n_workers, DEFAULT_MODEL, n_chunks=n_chunks
+        )
     if isinstance(entry, TaskPlan):
         if suggestion is not None and suggestion.task_graph is not None:
             return simulate_task_graph(
@@ -239,8 +251,16 @@ def validate_entry(
     suggestion=None,
     quantum: int = 256,
     vm_kwargs: Optional[dict] = None,
+    iteration_costs: Optional[list] = None,
 ) -> ValidationReport:
-    """Execute and validate one plan entry against the sequential run."""
+    """Execute and validate one plan entry against the sequential run.
+
+    ``iteration_costs`` is the loop's trace-measured per-iteration step
+    distribution (:func:`repro.simulate.exec_model.loop_iteration_costs`);
+    when present, the prediction composes in *step space* against the
+    sequential reference instead of Amdahl over memory-instruction
+    coverage — the same units the measured speedup is computed in.
+    """
     vm_kwargs = dict(vm_kwargs or {})
     # the scheduler drives threads with its own tick quantum
     vm_kwargs.pop("quantum", None)
@@ -289,15 +309,26 @@ def validate_entry(
     report.wall_speedup = (
         seq.wall / report.par_wall if report.par_wall else 0.0
     )
-    local = _predict(plan_entry, workers, suggestion)
+    local = _predict(plan_entry, workers, suggestion, iteration_costs)
     report.predicted_local_speedup = local
-    coverage = None
-    if suggestion is not None and suggestion.scores is not None:
-        coverage = suggestion.scores.instruction_coverage
-    if coverage is not None:
-        report.predicted_speedup = whole_program_speedup([(coverage, local)])
+    if iteration_costs and isinstance(plan_entry, DoallPlan) and local > 0:
+        # step-space composition: serial remainder + predicted parallel
+        # makespan, over the same seq.units the measurement divides by
+        work = float(sum(iteration_costs))
+        denom = seq.units - work + work / local
+        report.predicted_speedup = (
+            seq.units / denom if denom > 0 else local
+        )
     else:
-        report.predicted_speedup = local
+        coverage = None
+        if suggestion is not None and suggestion.scores is not None:
+            coverage = suggestion.scores.instruction_coverage
+        if coverage is not None:
+            report.predicted_speedup = whole_program_speedup(
+                [(coverage, local)]
+            )
+        else:
+            report.predicted_speedup = local
     if report.measured_speedup > 0:
         report.prediction_error = (
             report.predicted_speedup - report.measured_speedup
@@ -317,11 +348,15 @@ def validate_plan(
     seed: int = 12345,
     vm_kwargs: Optional[dict] = None,
     seq: Optional[SequentialReference] = None,
+    iteration_costs: Optional[dict] = None,
 ) -> list[ValidationReport]:
     """Validate every plan entry (one parallel run per feasible entry).
 
     ``seq`` lets callers reuse a cached sequential reference — it depends
     only on (module, entry, vm_kwargs), not on the plan or worker count.
+    ``iteration_costs`` maps a loop region id to its trace-measured
+    per-iteration cost list (engine callers recover it from the cached
+    profile trace).
     """
     base_kwargs = dict(vm_kwargs or {})
     base_kwargs.setdefault("seed", seed)
@@ -333,8 +368,10 @@ def validate_plan(
             info = getattr(s, "transform", None)
             if info and info.get("plan_index") is not None:
                 by_index[info["plan_index"]] = s
+    costs_by_region = iteration_costs or {}
     reports = []
     for index in range(len(plan.entries)):
+        plan_entry = plan.entries[index]
         reports.append(
             validate_entry(
                 plan,
@@ -345,6 +382,7 @@ def validate_plan(
                 suggestion=by_index.get(index),
                 quantum=quantum,
                 vm_kwargs=base_kwargs,
+                iteration_costs=costs_by_region.get(plan_entry.region_id),
             )
         )
     return reports

@@ -153,26 +153,35 @@ class PETBuilder:
         markers = np.nonzero(kinds > K_WRITE)[0].tolist()
         lines_col = rows[:, COL_LINE]
         tids_col = rows[:, COL_TID]
+        # single-threaded chunks (the common case) skip the per-segment
+        # thread split entirely: one vectorized check for the whole chunk
+        tid0 = int(tids_col[0])
+        chunk_single = bool((tids_col == tid0).all())
         names = chunk.strings.values
         start = 0
         for ci in markers + [n]:
             if ci > start:
-                seg_tids = tids_col[start:ci]
-                uniq, first = np.unique(seg_tids, return_index=True)
-                single = uniq.shape[0] == 1
-                if not single:
-                    # keep first-appearance order so node creation matches
-                    # the tuple path's interleaving exactly
-                    uniq = uniq[np.argsort(first)]
-                for tid in uniq.tolist():
-                    if single:
-                        seg_lines = lines_col[start:ci]
-                        count = ci - start
-                    else:
-                        mask = seg_tids == tid
-                        seg_lines = lines_col[start:ci][mask]
-                        count = int(mask.sum())
-                    self._attribute_run(tid, seg_lines, count)
+                if chunk_single:
+                    self._attribute_run(
+                        tid0, lines_col[start:ci], ci - start
+                    )
+                else:
+                    seg_tids = tids_col[start:ci]
+                    uniq, first = np.unique(seg_tids, return_index=True)
+                    single = uniq.shape[0] == 1
+                    if not single:
+                        # keep first-appearance order so node creation
+                        # matches the tuple path's interleaving exactly
+                        uniq = uniq[np.argsort(first)]
+                    for tid in uniq.tolist():
+                        if single:
+                            seg_lines = lines_col[start:ci]
+                            count = ci - start
+                        else:
+                            mask = seg_tids == tid
+                            seg_lines = lines_col[start:ci][mask]
+                            count = int(mask.sum())
+                        self._attribute_run(tid, seg_lines, count)
             if ci < n:
                 row = rows[ci].tolist()
                 k = row[COL_KIND]

@@ -36,6 +36,14 @@ from repro.runtime.events import (
     load_trace,
     save_trace,
 )
+from repro.runtime.compile import (
+    INLINE_OPS,
+    RUN_TERMINATORS,
+    CompiledCode,
+    bigram_census,
+    compile_function,
+    find_runs,
+)
 from repro.runtime.memory import MemoryLayout
 from repro.runtime.interpreter import VM, VMError, run_module, run_source
 
@@ -62,6 +70,12 @@ __all__ = [
     "CallbackSink",
     "load_trace",
     "save_trace",
+    "INLINE_OPS",
+    "RUN_TERMINATORS",
+    "CompiledCode",
+    "bigram_census",
+    "compile_function",
+    "find_runs",
     "MemoryLayout",
     "VM",
     "VMError",

@@ -324,16 +324,36 @@ class ChunkBuilder:
         self._rows = np.empty((capacity, N_COLS), dtype=np.int64)
 
     def build(self, staged: list) -> EventChunk:
-        """Pack staged rows into the current preallocated chunk."""
+        """Pack staged rows into the current preallocated chunk.
+
+        The returned chunk always owns (a view of) the buffer it was
+        packed into; the builder swaps in a fresh buffer either way, so a
+        later ``build`` can never scribble over rows already handed out.
+        """
         n = len(staged)
-        if n == self.capacity:
-            rows, self._rows = self._rows, np.empty(
-                (self.capacity, N_COLS), dtype=np.int64
-            )
+        rows, self._rows = self._rows, np.empty(
+            (self.capacity, N_COLS), dtype=np.int64
+        )
+        if n != self.capacity:
+            # short final chunk: hand out a sliced view of the
+            # preallocated buffer instead of re-materializing the staged
+            # rows through np.array()
+            rows = rows[:n]
+        if n:
             rows[:] = staged
-        else:
-            # short final chunk: size exactly, keep the buffer for reuse
-            rows = np.array(staged, dtype=np.int64).reshape(n, N_COLS)
+        return EventChunk(rows, self.strings)
+
+    def build_flat(self, staged: list) -> EventChunk:
+        """Pack a *flat* staging list (:data:`N_COLS` ints per event).
+
+        The compiled-dispatch VM stages scalar int columns instead of
+        row tuples — converting one flat int list is almost twice as
+        fast as converting a list of row tuples, and no per-event tuple
+        object is ever allocated.
+        """
+        rows = np.fromiter(staged, np.int64, len(staged)).reshape(
+            -1, N_COLS
+        )
         return EventChunk(rows, self.strings)
 
 

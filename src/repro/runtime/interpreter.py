@@ -9,6 +9,19 @@ in for pthreads in the paper's multi-threaded profiling experiments — the
 profiler only observes the interleaved event stream, so an instruction-level
 interleaving reproduces exactly the hazards §2.3.4 deals with (out-of-order
 pushes, races, lock-protected regions).
+
+Dispatch: two execution cores run behind the ``dispatch`` knob.
+
+* ``"compiled"`` (default) — the closure-specialized core of
+  :mod:`repro.runtime.compile`: each function decodes once into
+  per-instruction closures with operands, address modes, and columnar
+  event metadata pre-resolved, plus fused superinstructions for the
+  hottest bigrams.  Instrumented runs require the columnar chunk format;
+  a tuple-format instrumented VM silently keeps the switch core (the
+  tuple stream's reference encoder).
+* ``"switch"`` — the original string-compare dispatch chain, kept as the
+  bit-exact reference.  Both cores produce identical traces, schedules,
+  and final state; ``tests/test_vm.py`` holds the equivalence suite.
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ from repro.runtime.events import (
     K_SPAWN,
     K_UNLOCK,
     K_WRITE,
+    N_COLS,
     ChunkBuilder,
     StringTable,
     TraceSink,
@@ -110,19 +124,21 @@ class ThreadState:
         "status",
         "wait_target",
         "sp",
+        "stack_limit",
         "loop_stack",
         "sig_id",
         "return_value",
         "steps",
     )
 
-    def __init__(self, tid: int, stack_base: int) -> None:
+    def __init__(self, tid: int, stack_base: int, stack_limit: int) -> None:
         self.tid = tid
         self.frames: list[Frame] = []
         self.pc = 0
         self.status = RUNNABLE
         self.wait_target: Optional[int] = None
         self.sp = stack_base
+        self.stack_limit = stack_limit
         #: innermost-last loop context: [region_id, iteration]
         self.loop_stack: list[list] = []
         self.sig_id = 0
@@ -147,9 +163,12 @@ class VM:
         max_threads: int = 64,
         instrument: bool = True,
         chunk_format: str = "tuple",
+        dispatch: str = "compiled",
     ) -> None:
         if chunk_format not in ("tuple", "columnar"):
             raise ValueError(f"unknown chunk_format {chunk_format!r}")
+        if dispatch not in ("compiled", "switch"):
+            raise ValueError(f"unknown dispatch {dispatch!r}")
         self.module = module
         self.sink = sink
         self.chunk_size = chunk_size
@@ -213,20 +232,64 @@ class VM:
 
         self._builtins = _make_builtins()
 
+        # compiled dispatch: closure tables built lazily, one per executed
+        # function.  A traced compiled core stages columnar rows natively,
+        # so an instrumented tuple-format VM keeps the switch loop (the
+        # tuple stream's reference encoder).
+        self.dispatch = dispatch
+        self._use_compiled = dispatch == "compiled" and (
+            not self.instrument or self._columnar
+        )
+        self._compiled_cache: dict = {}
+        # the compiled traced core stages flat int columns (N_COLS ints
+        # per event) instead of row tuples; cold emit sites flatten
+        # their row through list.extend and the flush threshold scales
+        # accordingly
+        self._flat_staging = self._use_compiled and self.instrument
+        self._flat_cap = chunk_size * N_COLS
+
+    @property
+    def effective_dispatch(self) -> str:
+        """The core actually executing: ``"compiled"`` or ``"switch"``."""
+        return "compiled" if self._use_compiled else "switch"
+
+    def _compiled_for(self, func):
+        """The (lazily built) closure table of one function."""
+        code = self._compiled_cache.get(func)
+        if code is None:
+            from repro.runtime.compile import compile_function
+
+            code = self._compiled_cache[func] = compile_function(self, func)
+        return code
+
     # ------------------------------------------------------------------
     # event plumbing
     # ------------------------------------------------------------------
 
     def _flush(self) -> None:
-        if self._buffer and self.sink is not None:
+        buf = self._buffer
+        if buf and self.sink is not None:
             if self._columnar:
-                self.sink(self._chunks.build(self._buffer))
+                # the staging list object must stay stable: compiled traced
+                # closures capture it (and its bound extend) at compile time
+                if self._flat_staging:
+                    chunk = self._chunks.build_flat(buf)
+                else:
+                    chunk = self._chunks.build(buf)
+                buf.clear()
+                self.sink(chunk)
             else:
-                self.sink(self._buffer)
-            self._buffer = []
+                # legacy tuple chunks hand the list itself to the sink
+                self.sink(buf)
+                self._buffer = []
 
     def _emit(self, event: tuple) -> None:
         buf = self._buffer
+        if self._flat_staging:
+            buf.extend(event)
+            if len(buf) >= self._flat_cap:
+                self._flush()
+            return
         buf.append(event)
         if len(buf) >= self.chunk_size:
             self._flush()
@@ -275,7 +338,9 @@ class VM:
         self, func_name: str, args: list, call_line: int = 0
     ) -> ThreadState:
         tid = len(self.threads)
-        thread = ThreadState(tid, self.layout.stack_base(tid))
+        thread = ThreadState(
+            tid, self.layout.stack_base(tid), self.layout.stack_limit(tid)
+        )
         self.threads.append(thread)
         self._push_frame(thread, func_name, args, ret_dest=None,
                          call_line=call_line)
@@ -297,19 +362,39 @@ class VM:
                 f"{func_name} expects {len(func.params)} args, got {len(args)}"
             )
         frame_base = thread.sp
-        if frame_base + func.frame_size > self.layout.stack_limit(thread.tid):
+        size = func.frame_size
+        if frame_base + size > thread.stack_limit:
             raise VMError(f"stack overflow in thread {thread.tid} ({func_name})")
-        thread.sp += func.frame_size
+        thread.sp += size
         # zero the frame and announce its lifetime for the profiler
-        memory = self.memory
-        for i in range(frame_base, frame_base + func.frame_size):
-            memory[i] = 0
+        if size:
+            self.memory[frame_base : frame_base + size] = [0] * size
         frame = Frame(func, frame_base, ret_dest, ret_pc=thread.pc)
         for i, value in enumerate(args):
             frame.regs[i] = value
         thread.frames.append(frame)
         thread.pc = 0
         if self.instrument:
+            if self._flat_staging:
+                # compiled-core fast path: stage the rows flat, keeping
+                # the per-event flush points of the reference core
+                buf = self._buffer
+                cap = self._flat_cap
+                tid = thread.tid
+                ts = self.ts
+                if size:
+                    buf.extend(
+                        (K_ALLOC, frame_base, 0, 0, size, tid, ts, 0, 0)
+                    )
+                    if len(buf) >= cap:
+                        self._flush()
+                buf.extend(
+                    (K_FENTRY, 0, func.start_line,
+                     self._func_name_id[func_name], call_line, tid, ts, 0, 0)
+                )
+                if len(buf) >= cap:
+                    self._flush()
+                return
             if func.frame_size:
                 self._emit_block(
                     K_ALLOC, EV_ALLOC, frame_base, func.frame_size, thread.tid
@@ -332,18 +417,40 @@ class VM:
         while frame.region_stack:
             self._close_region_entry(thread, frame, frame.region_stack.pop())
         if self.instrument:
-            if self._columnar:
-                self._emit(
+            if self._flat_staging:
+                buf = self._buffer
+                cap = self._flat_cap
+                tid = thread.tid
+                ts = self.ts
+                size = frame.func.frame_size
+                buf.extend(
                     (K_FEXIT, 0, 0, self._func_name_id[frame.func.name], 0,
-                     thread.tid, self.ts, 0, 0)
+                     tid, ts, 0, 0)
                 )
+                if len(buf) >= cap:
+                    self._flush()
+                if size:
+                    buf.extend(
+                        (K_FREE, frame.frame_base, 0, 0, size, tid, ts, 0, 0)
+                    )
+                    if len(buf) >= cap:
+                        self._flush()
             else:
-                self._emit((EV_FEXIT, frame.func.name, thread.tid, self.ts))
-            if frame.func.frame_size:
-                self._emit_block(
-                    K_FREE, EV_FREE, frame.frame_base, frame.func.frame_size,
-                    thread.tid,
-                )
+                if self._columnar:
+                    self._emit(
+                        (K_FEXIT, 0, 0,
+                         self._func_name_id[frame.func.name], 0,
+                         thread.tid, self.ts, 0, 0)
+                    )
+                else:
+                    self._emit(
+                        (EV_FEXIT, frame.func.name, thread.tid, self.ts)
+                    )
+                if frame.func.frame_size:
+                    self._emit_block(
+                        K_FREE, EV_FREE, frame.frame_base,
+                        frame.func.frame_size, thread.tid,
+                    )
         thread.sp = frame.frame_base
         if thread.frames:
             caller = thread.frames[-1]
@@ -432,8 +539,61 @@ class VM:
         self._flush()
         return main_thread.return_value
 
-    # The dispatch loop.  Hot path: load/store/bin/addr/branch.
     def _run_thread(self, thread: ThreadState, quantum: int) -> None:
+        """Run one thread for up to ``quantum`` steps on the active core."""
+        if self._use_compiled:
+            self._run_thread_compiled(thread, quantum)
+        else:
+            self._run_thread_switch(thread, quantum)
+        if self.total_steps > self.max_steps:
+            raise VMError(f"step budget exceeded ({self.max_steps})")
+        # wake joiners of finished threads
+        if thread.status == DONE:
+            tid = thread.tid
+            for other in self.threads:
+                if other.status == BLOCKED_JOIN and other.wait_target == tid:
+                    other.status = RUNNABLE
+                    other.wait_target = None
+
+    # The compiled-dispatch loop: one pre-specialized closure per code
+    # index (repro.runtime.compile).  A closure returns the next index, or
+    # -1 after a control transfer (call/ret/spawn/block/parallel fork) —
+    # the outer loop then re-aliases the current frame.  Fused
+    # superinstructions cost ``costs[pc]`` steps; near the quantum edge
+    # the runner uses the single-instruction ``alts`` table instead, so
+    # burst lengths (and therefore scheduler interleavings) match the
+    # switch core exactly.
+    def _run_thread_compiled(self, thread: ThreadState, quantum: int) -> None:
+        steps = 0
+        while steps < quantum and thread.status == RUNNABLE and thread.frames:
+            frame = thread.frames[-1]
+            compiled = self._compiled_for(frame.func)
+            fns = compiled.fns
+            costs = compiled.costs
+            alts = compiled.alts
+            pc = thread.pc
+            while steps < quantum:
+                cost = costs[pc]
+                if cost == 1:
+                    npc = fns[pc](thread, frame)
+                    steps += 1
+                elif steps + cost <= quantum:
+                    npc = fns[pc](thread, frame)
+                    steps += cost
+                else:
+                    npc = alts[pc](thread, frame)
+                    steps += 1
+                if npc < 0:
+                    break  # control transfer: thread.pc already updated
+                pc = npc
+            else:
+                # quantum exhausted mid-block: save resume point
+                thread.pc = pc
+        self.total_steps += steps
+
+    # The switch-dispatch loop, kept as the bit-exact reference core.
+    # Hot path: load/store/bin/addr/branch.
+    def _run_thread_switch(self, thread: ThreadState, quantum: int) -> None:
         memory = self.memory
         instrument = self.instrument
         columnar = self._columnar
@@ -692,14 +852,6 @@ class VM:
                 # quantum exhausted mid-block: save resume point
                 thread.pc = pc
         self.total_steps += steps
-        if self.total_steps > self.max_steps:
-            raise VMError(f"step budget exceeded ({self.max_steps})")
-        # wake joiners of finished threads
-        if thread.status == DONE:
-            for other in self.threads:
-                if other.status == BLOCKED_JOIN and other.wait_target == tid:
-                    other.status = RUNNABLE
-                    other.wait_target = None
 
 
 # ---------------------------------------------------------------------------

@@ -13,6 +13,8 @@ paper's measurements do.
 
 from repro.simulate.exec_model import (
     ExecutionModel,
+    collect_iteration_costs,
+    loop_iteration_costs,
     simulate_doall,
     simulate_pipeline,
     simulate_task_graph,
@@ -21,6 +23,8 @@ from repro.simulate.exec_model import (
 
 __all__ = [
     "ExecutionModel",
+    "collect_iteration_costs",
+    "loop_iteration_costs",
     "simulate_doall",
     "simulate_pipeline",
     "simulate_task_graph",

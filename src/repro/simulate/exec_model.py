@@ -8,21 +8,31 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.discovery.tasks import TaskGraph
+from repro.runtime.events import (
+    COL_ADDR,
+    COL_KIND,
+    COL_TID,
+    COL_TS,
+    EV_BGN,
+    EV_ITER,
+    EventChunk,
+    K_BGN,
+    K_ITER,
+)
 
 
 @dataclass
 class ExecutionModel:
     """Machine/runtime parameters of the simulated multicore.
 
-    ``spawn_overhead`` — cost of creating/dispatching one task or thread,
-    in work units (one work unit = one profiled memory instruction).
+    ``spawn_overhead`` — cost of creating/dispatching one task, thread,
+    or DOALL chunk, in work units (one work unit = one profiled memory
+    instruction).
     ``barrier_overhead`` — per-thread cost of a join/barrier.
-    ``chunk_overhead`` — per-chunk scheduling cost in DOALL loops.
     """
 
     spawn_overhead: float = 40.0
     barrier_overhead: float = 20.0
-    chunk_overhead: float = 10.0
 
     def parallel_setup_cost(self, n_threads: int) -> float:
         return self.spawn_overhead * n_threads + self.barrier_overhead * n_threads
@@ -35,13 +45,22 @@ def simulate_doall(
     iteration_costs: Sequence[float],
     n_threads: int,
     model: ExecutionModel = DEFAULT_MODEL,
+    *,
+    n_chunks: Optional[int] = None,
 ) -> float:
-    """Speedup of a DOALL loop with static chunking.
+    """Speedup of a DOALL loop under the work-stealing scheduler's model.
 
     ``iteration_costs`` is the per-iteration work (uniform loops may pass
-    ``[cost] * iterations``).  Iterations are divided "as evenly as
-    possible" (§1.3.3's description of auto-parallelizers, which the
-    paper's suggestions target).
+    ``[cost] * iterations``; :func:`loop_iteration_costs` recovers the
+    real distribution from a recorded trace).  Iterations split into
+    ``n_chunks`` *contiguous* chunks — the transform's actual granularity
+    (:mod:`repro.parallelize.transforms` outlines ``min(n_workers,
+    iterations)`` chunks, the default here).  Chunks are greedily
+    assigned in order to the least-loaded worker, mirroring how idle
+    workers steal queued chunks, and each chunk charges the scheduler's
+    per-chunk spawn cost to its worker.  The makespan is the heaviest
+    worker plus the join barrier — exactly the quantity the scheduler's
+    ``makespan_units`` measures for one fork/join region.
     """
     if not iteration_costs or n_threads <= 1:
         # nothing to divide, or no parallelism requested: running the loop
@@ -51,10 +70,15 @@ def simulate_doall(
     if total <= 0:
         return 1.0
     n = max(1, min(n_threads, len(iteration_costs)))
-    # static block partition
-    chunks = _block_partition(list(iteration_costs), n)
-    makespan = max(sum(c) for c in chunks) + model.parallel_setup_cost(n)
-    makespan += model.chunk_overhead * n
+    if n_chunks is None:
+        n_chunks = n
+    n_chunks = max(1, min(n_chunks, len(iteration_costs)))
+    chunks = _block_partition(list(iteration_costs), n_chunks)
+    loads = [0.0] * n
+    for chunk in chunks:
+        wid = loads.index(min(loads))
+        loads[wid] += sum(chunk) + model.spawn_overhead
+    makespan = max(loads) + model.barrier_overhead
     return total / makespan if makespan > 0 else 1.0
 
 
@@ -125,6 +149,117 @@ def simulate_task_graph(
                 ready.append(succ)
     makespan += model.barrier_overhead * min(n_threads, len(work))
     return total / makespan if makespan > 0 else 1.0
+
+
+def loop_iteration_costs(trace, region_id: int) -> Optional[list[int]]:
+    """Per-iteration step costs of one loop, recovered from a trace.
+
+    The trace's ``ts`` column ticks once per executed instruction, so the
+    gap between consecutive ``ITER`` markers of a loop region (and from
+    ``BGN`` to the first ``ITER``) *is* that iteration's cost in the same
+    simulated work units the scheduler's makespan counts — inner loops,
+    calls, everything attributed to the iteration that ran it.
+
+    Returns ``None`` when the loop executed more than once (chunk
+    alignment against a single fork would be ambiguous), recorded no
+    iterations, or the trace is multi-threaded (the global ``ts``
+    counter then also ticks for concurrently interleaved threads, which
+    would inflate the gaps); callers fall back to a uniform-cost
+    estimate.
+    """
+    return collect_iteration_costs(trace, {region_id}).get(region_id)
+
+
+def collect_iteration_costs(trace, region_ids) -> dict[int, list[int]]:
+    """:func:`loop_iteration_costs` for several loops in one trace scan.
+
+    Regions that fail the single-execution / single-thread conditions
+    are simply absent from the result.
+    """
+    wanted = set(region_ids)
+    markers: dict[int, list[tuple[int, int]]] = {r: [] for r in wanted}
+    if not wanted:
+        return {}
+    multi_threaded = False
+    tid0 = None
+    for chunk in trace.iter_chunks():
+        if isinstance(chunk, EventChunk):
+            rows = chunk.rows
+            if rows.shape[0] == 0:
+                continue
+            tids = rows[:, COL_TID]
+            if tid0 is None:
+                tid0 = int(tids[0])
+            if not (tids == tid0).all():
+                multi_threaded = True
+                break
+            kinds = rows[:, COL_KIND]
+            mask = (kinds == K_ITER) | (kinds == K_BGN)
+            for code, rid, ts in zip(
+                kinds[mask].tolist(),
+                rows[mask, COL_ADDR].tolist(),
+                rows[mask, COL_TS].tolist(),
+            ):
+                if rid in wanted:
+                    markers[rid].append((code, ts))
+        else:
+            for event in chunk:
+                kind = event[0]
+                if kind == EV_ITER:
+                    if tid0 is None:
+                        tid0 = event[2]
+                    elif event[2] != tid0:
+                        multi_threaded = True
+                        break
+                    if event[1] in wanted:
+                        markers[event[1]].append((K_ITER, event[3]))
+                elif kind == EV_BGN:
+                    if tid0 is None:
+                        tid0 = event[4]
+                    elif event[4] != tid0:
+                        multi_threaded = True
+                        break
+                    if event[1] in wanted:
+                        markers[event[1]].append((K_BGN, event[5]))
+                else:
+                    tid = _event_tid(event)
+                    if tid is not None:
+                        if tid0 is None:
+                            tid0 = tid
+                        elif tid != tid0:
+                            multi_threaded = True
+                            break
+        if multi_threaded:
+            break
+    if multi_threaded:
+        return {}
+    out: dict[int, list[int]] = {}
+    for rid, entries in markers.items():
+        costs: list[int] = []
+        executions = 0
+        last = None
+        for code, ts in entries:
+            if code == K_BGN:
+                executions += 1
+                last = ts
+            elif last is not None:
+                costs.append(ts - last)
+                last = ts
+        if executions == 1 and costs:
+            out[rid] = costs
+    return out
+
+
+#: legacy tuple layouts: event kind -> index of the tid field
+_TUPLE_TID_INDEX = {
+    "R": 5, "W": 5, "G": 4, "E": 4, "I": 2, "C": 3, "X": 2,
+    "A": 3, "F": 3, "L": 2, "U": 2, "S": 2, "J": 2,
+}
+
+
+def _event_tid(event) -> Optional[int]:
+    index = _TUPLE_TID_INDEX.get(event[0])
+    return event[index] if index is not None else None
 
 
 def whole_program_speedup(

@@ -83,9 +83,15 @@ class TestConfig:
 
     def test_seed_folds_into_vm_kwargs(self):
         config = DiscoveryConfig(seed=99)
-        assert config.resolved_vm_kwargs() == {"seed": 99}
+        assert config.resolved_vm_kwargs() == {
+            "seed": 99, "dispatch": "compiled"
+        }
         explicit = DiscoveryConfig(seed=99, vm_kwargs={"seed": 3})
-        assert explicit.resolved_vm_kwargs() == {"seed": 3}
+        assert explicit.resolved_vm_kwargs() == {
+            "seed": 3, "dispatch": "compiled"
+        }
+        switched = DiscoveryConfig(dispatch="switch")
+        assert switched.resolved_vm_kwargs() == {"dispatch": "switch"}
 
 
 class TestPhaseCaching:

@@ -389,7 +389,7 @@ class TestEngineIntegration:
         )
         result = engine.run()
         assert set(result.timings) == {
-            "profile", "build_cus", "detect", "rank"
+            "profile", "vm_compiled", "build_cus", "detect", "rank"
         }
         assert all(t >= 0 for t in result.timings.values())
         data = result.to_dict()
@@ -477,7 +477,7 @@ class TestCLIPipelineFlags:
         assert data["artifact"] == "discovery_result"
         assert data["profile_stats"]["backend"] == "parallel"
         assert set(data["timings"]) == {
-            "profile", "build_cus", "detect", "rank"
+            "profile", "vm_compiled", "build_cus", "detect", "rank"
         }
 
     def test_discover_spill_and_tuple_format(self, capsys):
