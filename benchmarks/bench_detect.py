@@ -1,0 +1,53 @@
+"""Detection-core bench: vectorized segmented scans vs. the loop walk.
+
+Seeds ``benchmarks/out/BENCH_detect.json`` — the first entry of the
+detection performance trajectory (the artifact ``repro bench --suite
+detect`` also produces).  Measures, per workload and detection core:
+detection throughput over a recorded trace (stores must stay
+bit-identical) and end-to-end engine ``profile()`` wall time, plus the
+registry-wide equivalence sweep (all 50 workloads, threaded included).
+The gated trajectory numbers are the geomeans over the loop-nest trio
+(matmul, CG, mandelbrot); fft rides along ungated as the eviction- and
+frontier-churn-bound recursion reference point.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.engine.bench import format_detect_table, run_detect_bench
+
+
+def test_detect_core_throughput(benchmark):
+    result = benchmark.pedantic(
+        run_detect_bench,
+        kwargs={"reps": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit("BENCH_detect", format_detect_table(result))
+    (OUT_DIR / "BENCH_detect.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    # hard floors of the vectorized-detection overhaul: the segmented
+    # scans must reproduce the loop core's merged stores exactly —
+    # across the entire registry — and carry a >= 3x detection
+    # throughput geomean on the trio
+    assert result["all_stores_identical"]
+    assert result["equivalence_sweep"]["all_identical"]
+    assert result["detect_speedup_geomean"] >= 3.0
+    # end-to-end profile() also runs the (detection-independent) VM
+    # recording, so its floor is lower
+    assert result["profile_speedup_geomean"] >= 1.5
+
+
+if __name__ == "__main__":
+    result = run_detect_bench()
+    print(format_detect_table(result))
+    (OUT_DIR / "BENCH_detect.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    (OUT_DIR / "BENCH_detect.txt").write_text(
+        format_detect_table(result) + "\n"
+    )

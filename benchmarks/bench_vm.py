@@ -5,9 +5,10 @@ performance trajectory (the artifact ``repro bench --suite vm`` also
 produces).  Measures, per workload and dispatch core: instrumented
 recording wall time (traces must stay bit-identical), untraced execution
 (the validate/scheduler path), and end-to-end engine ``profile()`` wall
-time.  The gated trajectory numbers are the geomeans over the loop-nest
-trio (pi, EP, mandelbrot); fft rides along ungated as the call-bound
-recursion reference point.
+time.  The gated trajectory numbers are the geomeans over all four
+workloads: the loop-nest trio (pi, EP, mandelbrot) plus the call-bound
+fft recursion, gated since lazy untraced closure tables fixed its
+short-run regression.
 """
 
 from __future__ import annotations

@@ -12,6 +12,7 @@ The unified ``repro`` command drives the staged engine::
     repro batch    fib sort CG --jobs 4 --format json
     repro bench    [--quick]          # tuple vs columnar event throughput
     repro bench    --suite vm --quick # compiled vs switch dispatch cores
+    repro bench    --suite detect     # vectorized vs loop detection cores
 
 Every subcommand supports ``--format json`` (machine-readable artifact
 dicts, see :mod:`repro.engine.artifacts`) and ``--save PATH`` to persist
@@ -82,6 +83,13 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
              "superinstruction dispatch; switch: the reference loop)",
     )
     parser.add_argument(
+        "--detect",
+        choices=("vectorized", "loop"),
+        default="vectorized",
+        help="dependence detection core (vectorized: segmented numpy "
+             "scans; loop: the per-event reference walk)",
+    )
+    parser.add_argument(
         "--spill-trace",
         action="store_true",
         help="bound trace memory by spilling chunks to disk",
@@ -121,6 +129,7 @@ def _config_from_args(args, source: str, name: str):
         backend=getattr(args, "backend", "serial"),
         chunk_format=getattr(args, "chunk_format", "columnar"),
         dispatch=getattr(args, "dispatch", "compiled"),
+        detect=getattr(args, "detect", "vectorized"),
         spill_trace=getattr(args, "spill_trace", False),
         max_resident_chunks=getattr(args, "max_resident_chunks", 64),
     )
@@ -266,6 +275,8 @@ def cmd_parallelize(args) -> int:
 def cmd_bench(args) -> int:
     if args.suite == "vm":
         return _bench_vm(args)
+    if args.suite == "detect":
+        return _bench_detect(args)
     from repro.engine.bench import format_pipeline_table, run_pipeline_bench
 
     result = run_pipeline_bench(
@@ -330,6 +341,54 @@ def _bench_vm(args) -> int:
         print(
             f"; FAIL: compiled/switch traced geomean "
             f"{result['traced_speedup_geomean']:.2f} "
+            f"below required {args.min_ratio:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_profile_ratio
+        and result["profile_speedup_geomean"] < args.min_profile_ratio
+    ):
+        print(
+            f"; FAIL: end-to-end profile geomean "
+            f"{result['profile_speedup_geomean']:.2f} "
+            f"below required {args.min_profile_ratio:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _bench_detect(args) -> int:
+    """``repro bench --suite detect``: loop vs vectorized detection."""
+    from repro.engine.bench import format_detect_table, run_detect_bench
+
+    result = run_detect_bench(
+        args.workloads or None,
+        scale=args.scale,
+        reps=args.reps,
+        quick=args.quick,
+        chunk_size=args.chunk_size,
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=1))
+    else:
+        print(format_detect_table(result))
+    with open(args.save, "w") as handle:
+        json.dump(result, handle, indent=1)
+    print(f"; saved detect bench -> {args.save}", file=sys.stderr)
+    if not result["all_stores_identical"]:
+        sweep = result.get("equivalence_sweep") or {}
+        bad = ", ".join(sweep.get("mismatches", [])) or "bench rows"
+        print(
+            f"; FAIL: loop and vectorized stores differ ({bad})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_ratio and result["detect_speedup_geomean"] < args.min_ratio:
+        print(
+            f"; FAIL: vectorized/loop detection geomean "
+            f"{result['detect_speedup_geomean']:.2f} "
             f"below required {args.min_ratio:.2f}",
             file=sys.stderr,
         )
@@ -477,11 +536,14 @@ def main(argv=None) -> int:
     )
     p.add_argument("workloads", nargs="*",
                    help="registry workloads (default: the suite's trio)")
-    p.add_argument("--suite", choices=("pipeline", "vm"),
+    p.add_argument("--suite", choices=("pipeline", "vm", "detect"),
                    default="pipeline",
                    help="pipeline: tuple vs columnar chunks; "
-                        "vm: switch vs compiled dispatch")
-    p.add_argument("--scale", type=int, default=1)
+                        "vm: switch vs compiled dispatch; "
+                        "detect: loop vs vectorized detection cores")
+    p.add_argument("--scale", type=int, default=None,
+                   help="workload scale (default: 1; detect suite: 2 — "
+                        "detection throughput is the scaling story)")
     p.add_argument("--reps", type=int, default=3,
                    help="repetitions per measurement (best-of)")
     p.add_argument("--quick", action="store_true",
@@ -491,10 +553,12 @@ def main(argv=None) -> int:
     p.add_argument("--min-ratio", type=float, default=None,
                    help="fail below this geomean (default with --quick: "
                         "1.5 pipeline columnar/tuple, 2.0 vm "
-                        "compiled/switch; off otherwise)")
+                        "compiled/switch, 3.0 detect vectorized/loop; "
+                        "off otherwise)")
     p.add_argument("--min-profile-ratio", type=float, default=None,
-                   help="vm suite: fail if end-to-end profile geomean "
-                        "falls below this (default: 1.25 with --quick)")
+                   help="vm/detect suites: fail if end-to-end profile "
+                        "geomean falls below this (default with "
+                        "--quick: 1.25 vm, 1.5 detect)")
     p.add_argument("--save", metavar="PATH", default=None,
                    help="write the JSON result here "
                         "(default: BENCH_<suite>.json)")
@@ -524,11 +588,18 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "bench":
+        if args.scale is None:
+            from repro.engine.bench import DETECT_BENCH_SCALE
+
+            args.scale = (
+                DETECT_BENCH_SCALE if args.suite == "detect" else 1
+            )
         if args.min_ratio is None:
-            floor = 2.0 if args.suite == "vm" else 1.5
+            floor = {"vm": 2.0, "detect": 3.0}.get(args.suite, 1.5)
             args.min_ratio = floor if args.quick else 0.0
         if args.min_profile_ratio is None:
-            args.min_profile_ratio = 1.25 if args.quick else 0.0
+            floor = 1.5 if args.suite == "detect" else 1.25
+            args.min_profile_ratio = floor if args.quick else 0.0
         if args.save is None:
             args.save = f"BENCH_{args.suite}.json"
     return args.func(args)

@@ -51,6 +51,10 @@ class DiscoveryConfig:
     #: fused superinstructions, see :mod:`repro.runtime.compile`) or
     #: "switch" (the bit-exact string-dispatch reference loop)
     dispatch: str = "compiled"
+    #: dependence detection core: "vectorized" (segmented numpy scans,
+    #: see :mod:`repro.profiler.vectorized`) or "loop" (the bit-exact
+    #: per-event reference walk)
+    detect: str = "vectorized"
     #: bound trace memory: spill all but the newest chunks to disk
     spill_trace: bool = False
     #: resident chunk window of the spilling sink
@@ -90,6 +94,12 @@ class DiscoveryConfig:
             options.setdefault("signature_slots", self.signature_slots)
         if self.skip_loops:
             options.setdefault("skip_loops", True)
+        if self.detect != "vectorized":
+            # non-default only, like the options above: the built-in
+            # backends already default to the vectorized core, and a
+            # custom registered backend without a ``detect`` kwarg must
+            # keep working under a default config
+            options.setdefault("detect", self.detect)
         return options
 
     def to_dict(self) -> dict:
@@ -106,6 +116,7 @@ class DiscoveryConfig:
             "backend_options": dict(self.backend_options),
             "chunk_format": self.chunk_format,
             "dispatch": self.dispatch,
+            "detect": self.detect,
             "spill_trace": self.spill_trace,
             "max_resident_chunks": self.max_resident_chunks,
             "spill_dir": self.spill_dir,
@@ -130,6 +141,7 @@ class DiscoveryConfig:
             backend_options=dict(data.get("backend_options") or {}),
             chunk_format=data.get("chunk_format", "columnar"),
             dispatch=data.get("dispatch", "compiled"),
+            detect=data.get("detect", "vectorized"),
             spill_trace=data.get("spill_trace", False),
             max_resident_chunks=data.get("max_resident_chunks", 64),
             spill_dir=data.get("spill_dir"),

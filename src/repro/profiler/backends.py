@@ -32,6 +32,7 @@ Register custom backends with :func:`register_backend`::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, runtime_checkable
 
@@ -40,6 +41,7 @@ from repro.profiler.parallel import ParallelProfiler
 from repro.profiler.serial import ControlRecord, SerialProfiler
 from repro.profiler.shadow import PerfectShadow, SignatureShadow
 from repro.profiler.skipping import SkippingProfiler
+from repro.profiler.vectorized import VectorizedProfiler
 
 #: signature size used when the ``signature`` backend is selected without
 #: an explicit ``signature_slots``
@@ -75,7 +77,15 @@ class ProfilerBackend(Protocol):
 
 
 class SerialBackend:
-    """Serial profiling: one consumer, optional signature + skipping."""
+    """Serial profiling: one consumer, optional signature + skipping.
+
+    ``detect`` selects the detection core: ``"vectorized"`` (the
+    segmented-scan core of :mod:`repro.profiler.vectorized`, the
+    default) or ``"loop"`` (the per-event reference walk).  Both build
+    bit-identical stores; the §2.4 skipping filter is an inherently
+    per-event state machine, so ``skip_loops`` always runs the loop
+    core underneath.
+    """
 
     def __init__(
         self,
@@ -84,21 +94,38 @@ class SerialBackend:
         skip_loops: bool = False,
         sig_decoder=None,
         lifetime_analysis: bool = True,
+        detect: str = "vectorized",
         name: str = "serial",
     ) -> None:
+        if detect not in ("loop", "vectorized"):
+            raise ValueError(
+                f"unknown detection core {detect!r} "
+                "(expected 'loop' or 'vectorized')"
+            )
+        if skip_loops:
+            detect = "loop"
         self.name = name
-        shadow = (
-            PerfectShadow()
-            if signature_slots is None
-            else SignatureShadow(signature_slots)
-        )
-        self.profiler = SerialProfiler(
-            shadow, sig_decoder, lifetime_analysis=lifetime_analysis
-        )
+        self.detect = detect
+        if detect == "vectorized":
+            self.profiler = VectorizedProfiler(
+                signature_slots, sig_decoder,
+                lifetime_analysis=lifetime_analysis,
+            )
+        else:
+            shadow = (
+                PerfectShadow()
+                if signature_slots is None
+                else SignatureShadow(signature_slots)
+            )
+            self.profiler = SerialProfiler(
+                shadow, sig_decoder, lifetime_analysis=lifetime_analysis
+            )
         self.sink = (
             SkippingProfiler(self.profiler) if skip_loops else self.profiler
         )
         self.skip_loops = skip_loops
+        self.detect_seconds = 0.0
+        self.detect_events = 0
 
     @property
     def sig_decoder(self):
@@ -109,19 +136,36 @@ class SerialBackend:
         self.sink.sig_decoder = fn
 
     def __call__(self, chunk) -> None:
+        t0 = time.perf_counter()
         self.sink(chunk)
+        self.detect_seconds += time.perf_counter() - t0
+        self.detect_events += len(chunk)
 
     def finish(self) -> BackendResult:
         profiler = self.profiler
+        if isinstance(profiler, VectorizedProfiler):
+            t0 = time.perf_counter()
+            profiler.flush()
+            self.detect_seconds += time.perf_counter() - t0
+            collisions = profiler.collisions
+        else:
+            collisions = profiler.shadow.collisions
         stats = {
             "backend": self.name,
+            "detect": self.detect,
+            "detect_seconds": self.detect_seconds,
+            "detect_events_per_sec": (
+                self.detect_events / self.detect_seconds
+                if self.detect_seconds > 0
+                else 0.0
+            ),
             "reads": profiler.stats.reads,
             "writes": profiler.stats.writes,
             "accesses": profiler.stats.accesses,
             "deps": len(profiler.store),
             "raw_occurrences": profiler.store.raw_occurrences,
             "evictions": profiler.stats.evictions,
-            "shadow_collisions": profiler.shadow.collisions,
+            "shadow_collisions": collisions,
         }
         extras: dict = {}
         if self.skip_loops:
@@ -151,6 +195,7 @@ class ParallelBackend:
         queue_kind: str = "spsc",
         mode: str = "simulated",
         lifetime_analysis: bool = True,
+        detect: str = "vectorized",
         name: str = "parallel",
     ) -> None:
         if skip_loops:
@@ -160,6 +205,7 @@ class ParallelBackend:
                 "wrap the serial backend instead"
             )
         self.name = name
+        self.detect = detect
         self.profiler = ParallelProfiler(
             n_workers,
             signature_slots=signature_slots,
@@ -167,7 +213,10 @@ class ParallelBackend:
             queue_kind=queue_kind,
             mode=mode,
             lifetime_analysis=lifetime_analysis,
+            detect=detect,
         )
+        self.detect_seconds = 0.0
+        self.detect_events = 0
         self._result: Optional[BackendResult] = None
 
     @property
@@ -179,12 +228,22 @@ class ParallelBackend:
         self.profiler.sig_decoder = fn
 
     def __call__(self, chunk) -> None:
+        t0 = time.perf_counter()
         self.profiler.process_chunk(chunk)
+        self.detect_seconds += time.perf_counter() - t0
+        self.detect_events += len(chunk)
 
     def finish(self) -> BackendResult:
         if self._result is None:
+            t0 = time.perf_counter()
             store = self.profiler.finish()
+            finish_wall = time.perf_counter() - t0
             report = self.profiler.report
+            # finish() drains the vectorized workers' staged batches —
+            # detection work; only the final map merge is merge time
+            self.detect_seconds += max(
+                0.0, finish_wall - report.merge_seconds
+            )
             reads = sum(w.stats.reads for w in self.profiler.workers)
             writes = sum(w.stats.writes for w in self.profiler.workers)
             self._result = BackendResult(
@@ -192,6 +251,13 @@ class ParallelBackend:
                 control=self.profiler.control,
                 stats={
                     "backend": self.name,
+                    "detect": self.detect,
+                    "detect_seconds": self.detect_seconds,
+                    "detect_events_per_sec": (
+                        self.detect_events / self.detect_seconds
+                        if self.detect_seconds > 0
+                        else 0.0
+                    ),
                     "reads": reads,
                     "writes": writes,
                     "accesses": reads + writes,
@@ -200,7 +266,10 @@ class ParallelBackend:
                     "n_workers": report.n_workers,
                     "load_imbalance": report.load_imbalance,
                     "shadow_collisions": sum(
-                        w.shadow.collisions for w in self.profiler.workers
+                        w.collisions
+                        if isinstance(w, VectorizedProfiler)
+                        else w.shadow.collisions
+                        for w in self.profiler.workers
                     ),
                 },
                 extras={"report": report},

@@ -198,9 +198,21 @@ class DependenceStore:
         return iter(self._deps.values())
 
     def all(self) -> list[Dependence]:
+        # the full identity tuple: ordering must not depend on dict
+        # insertion order (the loop and vectorized detectors discover
+        # merged dependences in different orders) or on None-vs-str vars
         return sorted(
             self._deps.values(),
-            key=lambda d: (d.sink_line, d.type, d.source_line, d.var),
+            key=lambda d: (
+                d.sink_line,
+                d.type,
+                d.source_line,
+                d.var is not None,
+                d.var or "",
+                d.loop_carried,
+                d.sink_tid,
+                d.source_tid,
+            ),
         )
 
     def by_sink(self) -> dict[int, list[Dependence]]:

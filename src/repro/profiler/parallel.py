@@ -41,6 +41,10 @@ from repro.profiler.deps import DependenceStore
 from repro.profiler.queues import DONE, make_queue
 from repro.profiler.serial import ControlRecord, SerialProfiler
 from repro.profiler.shadow import PerfectShadow, SignatureShadow
+from repro.profiler.vectorized import (
+    DEFAULT_BATCH_EVENTS,
+    VectorizedProfiler,
+)
 from repro.runtime.events import (
     COL_ADDR,
     COL_AUX,
@@ -101,14 +105,21 @@ class ParallelProfiler:
         redistribute_every: int = 50_000,
         queue_capacity: int = 1 << 12,
         lifetime_analysis: bool = True,
+        detect: str = "vectorized",
     ) -> None:
         if n_workers <= 0:
             raise ValueError("need at least one worker")
         if mode not in ("simulated", "threaded"):
             raise ValueError(f"unknown mode {mode!r}")
+        if detect not in ("loop", "vectorized"):
+            raise ValueError(
+                f"unknown detection core {detect!r} "
+                "(expected 'loop' or 'vectorized')"
+            )
         self.n_workers = n_workers
         self.mode = mode
         self.queue_kind = queue_kind
+        self.detect = detect
         self.redistribute_every = redistribute_every
         self._sig_decoder = sig_decoder or (lambda s: ())
 
@@ -117,15 +128,29 @@ class ParallelProfiler:
                 return PerfectShadow()
             return SignatureShadow(signature_slots)
 
-        self.workers = [
-            SerialProfiler(
+        def _worker():
+            if detect == "vectorized":
+                return VectorizedProfiler(
+                    signature_slots,
+                    self._sig_decoder,
+                    lifetime_analysis=lifetime_analysis,
+                    track_control=False,
+                    # threaded mode: the producer must never flush a
+                    # worker's staged batches while its thread consumes
+                    # (rebalance state moves), so workers detect each
+                    # shard immediately instead of batching
+                    batch_events=(
+                        DEFAULT_BATCH_EVENTS if mode == "simulated" else 0
+                    ),
+                )
+            return SerialProfiler(
                 _shadow(),
                 self._sig_decoder,
                 lifetime_analysis=lifetime_analysis,
                 track_control=False,
             )
-            for _ in range(n_workers)
-        ]
+
+        self.workers = [_worker() for _ in range(n_workers)]
         self.report = ParallelReport(n_workers, queue_kind,
                                      work_units=[0] * n_workers)
         self.control: dict[int, ControlRecord] = {}
@@ -308,6 +333,13 @@ class ParallelProfiler:
         counts = self._access_counts
         if not counts:
             return
+        if self.mode == "simulated":
+            # vectorized workers stage chunks; state moves need the
+            # frontier current (threaded workers run unbatched, and
+            # flushing them from the producer would race their thread)
+            for worker in self.workers:
+                if isinstance(worker, VectorizedProfiler):
+                    worker.flush()
         hottest = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)[:top_n]
         n_workers = self.n_workers
         for rank, (addr, _count) in enumerate(hottest):
@@ -333,8 +365,15 @@ class ParallelProfiler:
         ``SerialProfiler._process_columnar``), which a move drops — the
         receiving worker rebuilds them lazily.
         """
-        src_shadow = self.workers[src].shadow
-        dst_shadow = self.workers[dst].shadow
+        src_prof = self.workers[src]
+        dst_prof = self.workers[dst]
+        if isinstance(src_prof, VectorizedProfiler):
+            # frontier-to-frontier move: pop the address's array-backed
+            # state wholesale and install it on the receiving worker
+            dst_prof.put_address_state(addr, src_prof.pop_address_state(addr))
+            return
+        src_shadow = src_prof.shadow
+        dst_shadow = dst_prof.shadow
         if (
             type(src_shadow) is PerfectShadow
             and type(dst_shadow) is PerfectShadow
@@ -365,6 +404,11 @@ class ParallelProfiler:
                 queue.push(DONE)
             for thread in self._threads:
                 thread.join()
+        # drain staged batches first: that is detection work, not merge
+        # work, and the pipeline model bills it to the workers
+        for worker in self.workers:
+            if isinstance(worker, VectorizedProfiler):
+                worker.flush()
         merge_start = time.perf_counter()
         merged = DependenceStore()
         for worker in self.workers:

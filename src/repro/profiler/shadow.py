@@ -64,9 +64,34 @@ class PerfectShadow:
         self.reads.pop(addr, None)
 
     def evict(self, base: int, size: int) -> None:
-        """Variable-lifetime eviction: drop status of a dead block."""
+        """Variable-lifetime eviction: drop status of a dead block.
+
+        Small blocks (stack frames) walk the range; blocks larger than
+        the tracked state (big array lifetimes) filter the dicts in bulk
+        instead — eviction cost is then bounded by the *live* set, never
+        by the byte size of the freed block.
+        """
         write = self.write
         reads = self.reads
+        if size > 2 * (len(write) + len(reads)):
+            end = base + size
+            survivors = {
+                addr: entry
+                for addr, entry in write.items()
+                if not base <= addr < end
+            }
+            # in-place: callers (the columnar fast path) hold these
+            # dicts in locals, so the identity must not change
+            write.clear()
+            write.update(survivors)
+            survivors = {
+                addr: entry
+                for addr, entry in reads.items()
+                if not base <= addr < end
+            }
+            reads.clear()
+            reads.update(survivors)
+            return
         for addr in range(base, base + size):
             write.pop(addr, None)
             reads.pop(addr, None)

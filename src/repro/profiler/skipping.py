@@ -297,8 +297,16 @@ class SkippingProfiler:
             else:
                 if kind == EV_FREE:
                     base, size = ev[1], ev[2]
-                    for dead in range(base, base + size):
-                        status_map.pop(dead, None)
+                    if size > 2 * len(status_map):
+                        end = base + size
+                        status_map = self._status = {
+                            addr: entry
+                            for addr, entry in status_map.items()
+                            if not base <= addr < end
+                        }
+                    else:
+                        for dead in range(base, base + size):
+                            status_map.pop(dead, None)
                 forward.append(ev)
         if forward:
             inner_process(forward)

@@ -169,15 +169,61 @@ def compile_function(vm: "VM", func: "Function") -> CompiledCode:
     traced = vm.instrument
     code = func.code
     n = len(code)
-    alts = [_make_closure(vm, i, code[i], traced) for i in range(n)]
-    fns = list(alts)
     costs = [1] * n
     runs = find_runs(code)
-    if runs:
-        fused = _generated_runs(vm, func, runs, traced)
-        for start, end in runs:
-            fns[start] = fused[start]
-            costs[start] = end - start
+    if traced:
+        alts = [_make_closure(vm, i, code[i], traced) for i in range(n)]
+        fns = list(alts)
+        if runs:
+            fused = _generated_runs(vm, func, runs, traced)
+            for start, end in runs:
+                fns[start] = fused[start]
+                costs[start] = end - start
+        return CompiledCode(fns, costs, alts, traced)
+    # Untraced variant: build closures lazily, on first execution.  The
+    # untraced consumers — validate.py sequential reruns, ParallelVM
+    # task bodies, quick bench runs — execute for milliseconds and touch
+    # a fraction of the instruction space; eagerly decoding every
+    # instruction of every called function dominated short call-heavy
+    # runs (the fft recursion regression).  Each table slot starts as a
+    # self-replacing trampoline: the first dispatch builds the real
+    # closure, patches the table, and runs it — later dispatches hit the
+    # plain closure with zero indirection.
+    for start, end in runs:
+        costs[start] = end - start
+    fns: list = [None] * n
+    alts: list = [None] * n
+    run_state = {"built": None}
+
+    def _lazy_single(i):
+        def trampoline(thread, frame):
+            real = _make_closure(vm, i, code[i], False)
+            # cost-1 indices share one closure across both tables, the
+            # same invariant the eager variant's ``fns = list(alts)``
+            # maintained
+            alts[i] = real
+            if costs[i] == 1:
+                fns[i] = real
+            return real(thread, frame)
+
+        return trampoline
+
+    def _lazy_run(i):
+        def trampoline(thread, frame):
+            fused = run_state["built"]
+            if fused is None:
+                fused = run_state["built"] = _generated_runs(
+                    vm, func, runs, False
+                )
+                for start, _end in runs:
+                    fns[start] = fused[start]
+            return fns[i](thread, frame)
+
+        return trampoline
+
+    for i in range(n):
+        alts[i] = _lazy_single(i)
+        fns[i] = _lazy_run(i) if costs[i] > 1 else alts[i]
     return CompiledCode(fns, costs, alts, traced)
 
 

@@ -175,7 +175,17 @@ int main() {
 
     def test_signature_slots_per_worker(self):
         module = get_workload("rotate").compile(scale=1)
+        # vectorized workers carry the slot count directly
         par = ParallelProfiler(4, mode="simulated", signature_slots=1 << 14)
+        vm = VM(module, par)
+        par.sig_decoder = vm.loop_signature
+        vm.run()
+        par.finish()
+        assert all(w.signature_slots == 1 << 14 for w in par.workers)
+        # loop workers still build a SignatureShadow each
+        par = ParallelProfiler(
+            4, mode="simulated", signature_slots=1 << 14, detect="loop"
+        )
         vm = VM(module, par)
         par.sig_decoder = vm.loop_signature
         vm.run()
