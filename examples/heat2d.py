@@ -1,0 +1,48 @@
+"""2-D Jacobi heat relaxation in the typed Python subset.
+
+This file is an ordinary Python program — run it with CPython::
+
+    python examples/heat2d.py
+
+— and it is also directly analyzable by the discovery pipeline, which
+lowers it through the Python frontend (picked by the ``.py`` extension)::
+
+    repro discover examples/heat2d.py
+    repro parallelize examples/heat2d.py --workers 4
+
+The inner sweeps over interior points are DOALL (each cell reads the
+previous grid, writes the next); the outer time-step loop carries the
+grid state and stays sequential.
+"""
+
+W = 64
+H = 48
+STEPS = 12
+
+grid = [0.0] * 3072
+nxt = [0.0] * 3072
+
+
+def main() -> int:
+    w = W
+    h = H
+    for i in range(w * h):
+        grid[i] = (i % 17) * 0.5
+    for step in range(STEPS):
+        for y in range(1, h - 1):
+            for x in range(1, w - 1):
+                idx = y * w + x
+                nxt[idx] = 0.25 * (grid[idx - 1] + grid[idx + 1]
+                                   + grid[idx - w] + grid[idx + w])
+        for y in range(1, h - 1):
+            for x in range(1, w - 1):
+                idx = y * w + x
+                grid[idx] = nxt[idx]
+    total = 0.0
+    for i in range(w * h):
+        total += grid[i]
+    return int(total)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -5,6 +5,7 @@ Run:  python examples/quickstart.py
 
 import json
 
+import repro
 from repro.discovery import discover_source
 from repro.engine import DiscoveryEngine, DiscoveryResult
 from repro.profiler.reportfmt import format_report
@@ -34,6 +35,14 @@ int main() {
   return total;
 }
 """
+
+
+@repro.candidate
+def saxpy(x: list, y: list, a: float, n: int) -> float:
+    """A live Python function the frontend lowers straight to MIR."""
+    for i in range(n):
+        y[i] = a * x[i] + y[i]
+    return y[0]
 
 
 def main() -> None:
@@ -92,6 +101,15 @@ def main() -> None:
     assert reloaded.format_report() == engine.run().format_report()
     print(f"  serialized result: {len(payload)} bytes; report identical "
           "after reload")
+
+    print("\n== repro.analyze: live Python functions, no MiniC port ==")
+    n = 256
+    py_result = repro.analyze(saxpy, args=([0.5] * n, [1.0] * n, 2.0, n))
+    for suggestion in py_result.suggestions:
+        print(f"  [{suggestion.kind}] {suggestion.location} "
+              f"(lines in THIS file)")
+    print(f"  frontend recorded in stats: "
+          f"{py_result.profile_stats['frontend']}")
 
 
 if __name__ == "__main__":

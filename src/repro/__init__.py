@@ -41,6 +41,21 @@ Batch analysis fans workloads across a process pool (also available as
     from repro.engine import job_for_workload, run_batch
     rows = run_batch([job_for_workload(n) for n in ("fib", "sort", "CG")])
 
+Live Python functions analyze directly — no MiniC port needed
+(:mod:`repro.frontend` lowers a typed Python subset to the same MIR)::
+
+    import repro
+
+    @repro.candidate
+    def saxpy(x: list, y: list, a: float, n: int) -> float:
+        for i in range(n):
+            y[i] = a * x[i] + y[i]
+        return y[0]
+
+    result = repro.analyze(saxpy,
+                           args=([1.0] * 64, [2.0] * 64, 3.0, 64))
+    print(result.format_report())   # lines point at this file
+
 One-shot wrappers (the pre-engine API, still fully supported)::
 
     from repro import discover_source
@@ -75,6 +90,12 @@ from repro.engine import (
     load_artifact,
     save_artifact,
 )
+from repro.frontend import (
+    FrontendError,
+    analyze,
+    candidate,
+    compile_python_source,
+)
 
 __version__ = "1.1.0"
 
@@ -98,5 +119,9 @@ __all__ = [
     "DiscoveryResult",
     "load_artifact",
     "save_artifact",
+    "analyze",
+    "candidate",
+    "compile_python_source",
+    "FrontendError",
     "__version__",
 ]

@@ -4,6 +4,8 @@ The unified ``repro`` command drives the staged engine::
 
     repro profile  file.mc [--format json] [--save prof.json]
     repro discover file.mc [--threads 8] [--format json] [--save out.json]
+    repro discover file.py            # Python frontend (by extension)
+    repro discover prog.txt --frontend python   # explicit override
     repro discover --workload fib --backend parallel --format json
     repro discover file.mc --spill-trace --max-resident-chunks 8
     repro parallelize --workload matmul --workers 4   # transform+validate
@@ -51,6 +53,13 @@ from repro.runtime.interpreter import VM
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--frontend",
+        choices=("minic", "python"),
+        default=None,
+        help="source language (default: by file extension — .py is "
+             "Python, anything else MiniC; workloads know their own)",
+    )
     parser.add_argument(
         "--signature-slots",
         type=int,
@@ -115,13 +124,17 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _config_from_args(args, source: str, name: str):
+def _config_from_args(args, source: str, name: str,
+                      frontend: str = "minic",
+                      source_path: str | None = None):
     from repro.engine import DiscoveryConfig
 
     return DiscoveryConfig(
         source=source,
         name=name,
         entry=args.entry,
+        frontend=frontend,
+        source_path=source_path,
         n_threads=getattr(args, "threads", 4),
         signature_slots=args.signature_slots,
         skip_loops=getattr(args, "skip_loops", False),
@@ -135,8 +148,15 @@ def _config_from_args(args, source: str, name: str):
     )
 
 
-def _read_source(args) -> tuple[str, str]:
-    """(source text, display name) from a file path or --workload."""
+def _read_source(args) -> tuple[str, str, str, str | None]:
+    """(source text, display name, frontend, source path) from a file
+    path or --workload.
+
+    The frontend comes from ``--frontend`` when given; otherwise the
+    file extension decides (``.py`` → python, anything else → MiniC)
+    and registry workloads carry their own language.
+    """
+    override = getattr(args, "frontend", None)
     if getattr(args, "workload", None):
         from repro.workloads import REGISTRY, get_workload
 
@@ -147,14 +167,19 @@ def _read_source(args) -> tuple[str, str]:
                 f"{', '.join(sorted(REGISTRY)[:8])}, ...)"
             )
         workload = get_workload(args.workload)
-        return workload.source(getattr(args, "scale", 1)), args.workload
+        source = workload.source(getattr(args, "scale", 1))
+        return source, args.workload, override or workload.frontend, None
     if not args.source:
         raise SystemExit("error: a source file or --workload is required")
     try:
         with open(args.source) as handle:
-            return handle.read(), args.source
+            text = handle.read()
     except OSError as exc:
         raise SystemExit(f"error: cannot read {args.source}: {exc}")
+    frontend = override or (
+        "python" if args.source.endswith(".py") else "minic"
+    )
+    return text, args.source, frontend, args.source
 
 
 def _emit(args, artifact, text: str) -> None:
@@ -175,8 +200,10 @@ def _emit(args, artifact, text: str) -> None:
 def cmd_profile(args) -> int:
     from repro.engine import DiscoveryEngine
 
-    source, name = _read_source(args)
-    engine = DiscoveryEngine(config=_config_from_args(args, source, name))
+    source, name, frontend, path = _read_source(args)
+    engine = DiscoveryEngine(
+        config=_config_from_args(args, source, name, frontend, path)
+    )
     t0 = time.perf_counter()
     profile = engine.profile()
     wall = time.perf_counter() - t0
@@ -210,9 +237,9 @@ def cmd_discover(args) -> int:
                 f"error: {args.load} is not a saved discovery result"
             )
     else:
-        source, name = _read_source(args)
+        source, name, frontend, path = _read_source(args)
         engine = DiscoveryEngine(
-            config=_config_from_args(args, source, name)
+            config=_config_from_args(args, source, name, frontend, path)
         )
         result = engine.run()
     _emit(args, result, result.format_report())
@@ -234,8 +261,8 @@ def cmd_parallelize(args) -> int:
     from repro.engine import DiscoveryEngine
     from repro.parallelize import format_validation_table
 
-    source, name = _read_source(args)
-    config = _config_from_args(args, source, name).replace(
+    source, name, frontend, path = _read_source(args)
+    config = _config_from_args(args, source, name, frontend, path).replace(
         n_workers=args.workers,
         n_threads=args.workers,
         parallel_quantum=args.quantum,
@@ -425,8 +452,10 @@ def cmd_report(args) -> int:
             text = json.dumps(artifact.to_dict(), indent=1)
         _emit(args, artifact, text)
         return 0
-    source, name = _read_source(args)
-    engine = DiscoveryEngine(config=_config_from_args(args, source, name))
+    source, name, frontend, path = _read_source(args)
+    engine = DiscoveryEngine(
+        config=_config_from_args(args, source, name, frontend, path)
+    )
     profile = engine.profile()
     lines = [profile.pet.format_tree(), ""]
     stats = profile.stats
@@ -491,7 +520,8 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("profile", help="Phase 1 only: dependence profiling")
-    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("source", nargs="?",
+                   help="source file (.py is Python, anything else MiniC)")
     p.add_argument("--workload", help="registry workload name instead")
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--skip-loops", action="store_true",
@@ -502,7 +532,8 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("discover", help="full pipeline: ranked suggestions")
-    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("source", nargs="?",
+                   help="source file (.py is Python, anything else MiniC)")
     p.add_argument("--workload", help="registry workload name instead")
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--threads", type=int, default=4,
@@ -518,7 +549,8 @@ def main(argv=None) -> int:
         "parallelize",
         help="transform + execute + validate ranked suggestions",
     )
-    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("source", nargs="?",
+                   help="source file (.py is Python, anything else MiniC)")
     p.add_argument("--workload", help="registry workload name instead")
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--workers", type=int, default=4,
@@ -566,7 +598,8 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="profiling statistics + PET")
-    p.add_argument("source", nargs="?", help="MiniC source file")
+    p.add_argument("source", nargs="?",
+                   help="source file (.py is Python, anything else MiniC)")
     p.add_argument("--workload", help="registry workload name instead")
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--load", metavar="PATH", default=None,

@@ -1,6 +1,7 @@
 """Batch discovery over many workloads (the ``repro batch`` backend).
 
-Fans a list of jobs — registry workload names or raw MiniC sources — across
+Fans a list of jobs — registry workload names or raw MiniC/Python
+sources — across
 a :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker runs a full
 :class:`~repro.engine.core.DiscoveryEngine` pipeline and returns a compact
 JSON-ready summary row, so a fleet of programs can be analysed in one
@@ -26,10 +27,16 @@ def job_for_workload(
 
 
 def job_for_source(
-    source: str, name: str = "<source>", **overrides
+    source: str, name: str = "<source>", frontend: str = "minic",
+    **overrides
 ) -> dict:
-    """A batch job dict carrying raw MiniC source text."""
-    return {"source": source, "name": name, "overrides": overrides}
+    """A batch job dict carrying raw source text (MiniC or Python)."""
+    return {
+        "source": source,
+        "name": name,
+        "frontend": frontend,
+        "overrides": overrides,
+    }
 
 
 def run_job(job: dict) -> dict:
@@ -46,12 +53,14 @@ def run_job(job: dict) -> dict:
                 source=workload.source(job.get("scale", 1)),
                 name=job["workload"],
                 entry=workload.entry,
+                frontend=workload.frontend,
                 **job.get("overrides", {}),
             )
         else:
             config = DiscoveryConfig(
                 source=job["source"],
                 name=name,
+                frontend=job.get("frontend", "minic"),
                 **job.get("overrides", {}),
             )
         result = DiscoveryEngine(config=config).run()

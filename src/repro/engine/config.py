@@ -23,8 +23,16 @@ class DiscoveryConfig:
     fully describes a run.
     """
 
-    #: MiniC source text (optional when a compiled Module is supplied)
+    #: source text (optional when a compiled Module is supplied)
     source: Optional[str] = None
+    #: source language the text is lowered with: "minic" | "python"
+    frontend: str = "minic"
+    #: original source file path (diagnostics / result provenance)
+    source_path: Optional[str] = None
+    #: first line of ``source`` within the original file — analyze()
+    #: extracts function bodies, so lowered line numbers keep pointing at
+    #: the real file position
+    source_firstline: int = 1
     #: display name for reports / batch rows
     name: str = "<source>"
     #: entry function executed by the profiling VM
@@ -105,6 +113,9 @@ class DiscoveryConfig:
     def to_dict(self) -> dict:
         return {
             "source": self.source,
+            "frontend": self.frontend,
+            "source_path": self.source_path,
+            "source_firstline": self.source_firstline,
             "name": self.name,
             "entry": self.entry,
             "n_threads": self.n_threads,
@@ -130,6 +141,9 @@ class DiscoveryConfig:
     def from_dict(cls, data: dict) -> "DiscoveryConfig":
         return cls(
             source=data.get("source"),
+            frontend=data.get("frontend", "minic"),
+            source_path=data.get("source_path"),
+            source_firstline=data.get("source_firstline", 1),
             name=data.get("name", "<source>"),
             entry=data.get("entry", "main"),
             n_threads=data.get("n_threads", 4),

@@ -75,6 +75,24 @@ MPMD_MIN_SPEEDUP = 1.2
 MPMD_MIN_COVERAGE = 0.01
 
 
+def compile_config_source(config: DiscoveryConfig) -> Module:
+    """Compile ``config.source`` with the frontend the config selects."""
+    if config.frontend == "python":
+        from repro.frontend.lowering import compile_python_source
+
+        return compile_python_source(
+            config.source,
+            name=config.name,
+            filename=config.source_path or "<python>",
+            first_line=config.source_firstline,
+        )
+    if config.frontend != "minic":
+        raise ValueError(
+            f"unknown frontend {config.frontend!r} (expected minic|python)"
+        )
+    return compile_source(config.source, name=config.name)
+
+
 class DiscoveryEngine:
     """Staged, re-entrant front door to the discovery pipeline."""
 
@@ -95,7 +113,7 @@ class DiscoveryEngine:
                     "DiscoveryEngine needs a compiled module or a config "
                     "with source text"
                 )
-            module = compile_source(config.source, name=config.name)
+            module = compile_config_source(config)
         self.module = module
         #: number of instrumented VM executions (the expensive phase)
         self.vm_runs = 0
@@ -174,6 +192,12 @@ class DiscoveryEngine:
         stats = dict(result.stats)
         stats["chunk_format"] = config.chunk_format
         stats["dispatch"] = vm.effective_dispatch
+        # source provenance: which frontend lowered the module and where
+        # the text came from, serialized with the result like dispatch/
+        # detect so downstream consumers can map lines back to the file
+        stats["frontend"] = config.frontend
+        stats["source_file"] = config.source_path
+        stats["source_firstline"] = config.source_firstline
         stats["vm_wall_seconds"] = vm_wall
         stats["vm_events_per_sec"] = (
             trace.n_events / vm_wall if vm_wall > 0 else 0.0

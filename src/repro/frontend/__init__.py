@@ -1,0 +1,32 @@
+"""Python-source frontend: a typed Python subset lowered to MIR.
+
+Public surface:
+
+* :func:`repro.frontend.compile_python_source` — source text → Module
+  (the CLI / workload-registry path);
+* :func:`repro.frontend.analyze` / :func:`repro.frontend.candidate` —
+  live-function analysis (re-exported as ``repro.analyze``);
+* :class:`repro.frontend.FrontendError` — source-mapped diagnostics.
+
+See ``docs/FRONTEND.md`` for the supported subset and inference rules.
+"""
+
+from repro.frontend.api import analyze, candidate
+from repro.frontend.errors import FrontendError
+from repro.frontend.infer import InferenceEngine, TypeCell
+from repro.frontend.lowering import (
+    DriverSpec,
+    MirBuilder,
+    compile_python_source,
+)
+
+__all__ = [
+    "analyze",
+    "candidate",
+    "FrontendError",
+    "InferenceEngine",
+    "TypeCell",
+    "DriverSpec",
+    "MirBuilder",
+    "compile_python_source",
+]

@@ -1,0 +1,61 @@
+"""Source-mapped frontend diagnostics.
+
+Everything the Python frontend rejects — constructs outside the typed
+subset, type conflicts, unresolvable globals — raises
+:class:`FrontendError` carrying the original file and line, so a user
+running :func:`repro.analyze` on a function buried in a large module gets
+``myfile.py:123: ...`` pointing at the offending statement, not at the
+lowered IR.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+class FrontendError(Exception):
+    """A Python construct (or type) outside the supported subset.
+
+    Carries ``filename``/``line``/``col`` so tools can surface the exact
+    source position; ``str(err)`` renders ``file:line: message``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        filename: str = "<python>",
+        line: int = 0,
+        col: Optional[int] = None,
+    ) -> None:
+        self.filename = filename
+        self.line = line
+        self.col = col
+        self.message = message
+        location = f"{filename}:{line}"
+        if col is not None:
+            location += f":{col}"
+        super().__init__(f"{location}: {message}")
+
+    @classmethod
+    def at(
+        cls, node: ast.AST, message: str, filename: str = "<python>"
+    ) -> "FrontendError":
+        """An error anchored at an AST node's source position."""
+        return cls(
+            message,
+            filename=filename,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", None),
+        )
+
+
+def unsupported(
+    node: ast.AST, what: str, filename: str = "<python>", hint: str = ""
+) -> FrontendError:
+    """The standard "outside the subset" diagnostic for a node."""
+    message = f"unsupported construct: {what}"
+    if hint:
+        message += f" ({hint})"
+    return FrontendError.at(node, message, filename)

@@ -1,0 +1,973 @@
+"""Unification-based type inference for the Python frontend.
+
+The lowering needs three static facts about every variable before it can
+assign memory homes and pick op variants:
+
+* scalar or array — decides the address mode (frame/global slot vs. the
+  flat computed-address loads/stores the shadow memory expects);
+* the numeric kind (``int`` / ``float``) — decides initial element values
+  and is reported in diagnostics;
+* the array length, where it is statically known — backs ``len()`` and
+  the global-segment layout.
+
+Types are inferred by unification over mutable *type cells* (a union-find
+forest, the classic engine shape — cf. monty's ``InferenceEngine``): every
+variable, parameter, and return slot owns a cell; annotations and literals
+seed cells with concrete kinds; assignments, calls, and operators merge
+cells.  Two refinements keep the engine faithful to Python's numerics:
+
+* **promotion** — merging an ``int`` cell with a ``float`` cell yields
+  ``float`` (mirroring ``x = 0`` followed by ``x = x + 0.5``) instead of a
+  unification failure.  Cells that *must* stay integral (array indices,
+  ``range`` bounds, shift/bitwise operands) carry a strict flag, and
+  promoting one raises a source-mapped :class:`FrontendError`;
+* **joins** — arithmetic results (``a + b``) depend on operand kinds that
+  may resolve later, so they are deferred constraints solved to a fixpoint
+  in :meth:`InferenceEngine.finish`; still-unknown numerics then default
+  to ``int``.
+
+Everything outside the subset (strings, dicts, nested lists, arrays used
+as scalars, fractional indices) fails here with a ``file:line`` diagnostic
+rather than surfacing as a lowering bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend.errors import FrontendError, unsupported
+
+#: sentinel for an array whose call sites disagree on the length
+SIZE_AMBIGUOUS = -1
+
+#: Python-level builtins the frontend lowers (name -> result rule; the
+#: lowering holds the operand mapping).  ``join`` means "same kind as the
+#: operands", solved like an arithmetic join.
+PY_BUILTINS = {
+    "abs": "join",
+    "min": "join",
+    "max": "join",
+    "int": "int",
+    "bool": "int",
+    "float": "float",
+    "len": "int",
+    "print": "int",
+    "pow": "join",
+    "range": "int",  # only legal as a for-loop iterator; checked in lowering
+}
+
+#: ``math.<name>`` attribute calls -> (vm builtin, arity, result kind)
+MATH_BUILTINS = {
+    "sqrt": ("sqrt", 1, "float"),
+    "floor": ("floor", 1, "int"),
+    "ceil": ("ceil", 1, "int"),
+    "exp": ("exp", 1, "float"),
+    "log": ("log", 1, "float"),
+    "sin": ("sin", 1, "float"),
+    "cos": ("cos", 1, "float"),
+    "pow": ("pow", 2, "float"),
+    "fabs": ("abs", 1, "float"),
+}
+
+
+class TypeCell:
+    """One union-find node: an inferred type, possibly still unknown."""
+
+    __slots__ = ("parent", "rank", "kind", "elem", "size", "strict_int")
+
+    def __init__(
+        self,
+        kind: str = "unknown",
+        elem: Optional["TypeCell"] = None,
+        size: Optional[int] = None,
+    ) -> None:
+        self.parent: Optional[TypeCell] = None
+        self.rank = 0
+        #: 'unknown' | 'int' | 'float' | 'array'
+        self.kind = kind
+        self.elem = elem
+        self.size = size
+        #: int-only position (array index, range bound, shift amount):
+        #: promotion to float is a type error instead of a widening
+        self.strict_int = False
+
+
+@dataclass
+class FuncSig:
+    """Inference-time signature of one lowered Python function."""
+
+    name: str
+    node: ast.FunctionDef
+    filename: str
+    params: list[TypeCell]
+    ret: TypeCell
+    #: names local to the function (assigned somewhere, not ``global``)
+    local_names: set = field(default_factory=set)
+    #: names declared ``global`` inside the body
+    global_names: set = field(default_factory=set)
+    #: name -> cell for locals and params
+    cells: dict = field(default_factory=dict)
+
+
+def assigned_names(node: ast.AST) -> set:
+    """Names bound by assignments / for-targets anywhere under ``node``.
+
+    This is Python's locality rule: a name assigned anywhere in a function
+    body is local throughout (unless declared ``global``).
+    """
+    names: set = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(sub.target, ast.Name):
+                names.add(sub.target.id)
+        elif isinstance(sub, ast.For):
+            if isinstance(sub.target, ast.Name):
+                names.add(sub.target.id)
+    return names
+
+
+def writes_name(node: ast.AST, name: str) -> bool:
+    """Does any statement under ``node`` assign ``name``?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == name for t in sub.targets
+            ):
+                return True
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(sub.target, ast.Name) and sub.target.id == name:
+                return True
+        elif isinstance(sub, ast.For):
+            if isinstance(sub.target, ast.Name) and sub.target.id == name:
+                return True
+    return False
+
+
+class InferenceEngine:
+    """Whole-program unification over the lowered function set."""
+
+    def __init__(
+        self, filename: str = "<python>", const_env: Optional[dict] = None
+    ) -> None:
+        self.filename = filename
+        #: module-level constant values (``N = 16``) for static array sizing
+        self.const_env = const_env or {}
+        self.sigs: dict[str, FuncSig] = {}
+        self.global_cells: dict[str, TypeCell] = {}
+        #: deferred arithmetic joins: (result, left, right, node, filename)
+        self._joins: list = []
+        #: operands that must end up numeric (not arrays): (cell, node, fn)
+        self._numeric_uses: list = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # cells / union-find
+    # ------------------------------------------------------------------
+
+    def fresh(self, kind: str = "unknown") -> TypeCell:
+        return TypeCell(kind)
+
+    def array_cell(
+        self, elem_kind: str = "unknown", size: Optional[int] = None
+    ) -> TypeCell:
+        return TypeCell("array", TypeCell(elem_kind), size)
+
+    def find(self, cell: TypeCell) -> TypeCell:
+        root = cell
+        while root.parent is not None:
+            root = root.parent
+        while cell.parent is not None:  # path compression
+            cell.parent, cell = root, cell.parent
+        return root
+
+    def _fail(self, node, filename, message) -> FrontendError:
+        if node is not None:
+            return FrontendError.at(node, message, filename)
+        return FrontendError(message, filename=filename)
+
+    def unify(
+        self,
+        a: TypeCell,
+        b: TypeCell,
+        node: Optional[ast.AST] = None,
+        filename: Optional[str] = None,
+    ) -> TypeCell:
+        """Merge two cells; numeric kinds promote (int ∪ float = float)."""
+        filename = filename or self.filename
+        a, b = self.find(a), self.find(b)
+        if a is b:
+            return a
+        # order so the higher-rank root wins (cheap balancing)
+        if a.rank < b.rank:
+            a, b = b, a
+        kind = self._merged_kind(a, b, node, filename)
+        if kind == "array":
+            winner = a if a.kind == "array" else b
+            other = b if winner is a else a
+            if other.kind == "array":
+                self.unify(winner.elem, other.elem, node, filename)
+                winner.size = self._merged_size(winner.size, other.size)
+            a_elem, a_size = winner.elem, winner.size
+            b.parent = a
+            a.kind, a.elem, a.size = "array", a_elem, a_size
+        else:
+            b.parent = a
+            a.kind = kind
+        a.strict_int = a.strict_int or b.strict_int
+        if a.strict_int and a.kind == "float":
+            raise self._fail(
+                node, filename, "integer-only position holds a float value"
+            )
+        if a.rank == b.rank:
+            a.rank += 1
+        return a
+
+    def _merged_kind(self, a, b, node, filename) -> str:
+        ka, kb = a.kind, b.kind
+        if ka == kb:
+            return ka
+        if ka == "unknown":
+            return kb
+        if kb == "unknown":
+            return ka
+        if {ka, kb} == {"int", "float"}:
+            if a.strict_int or b.strict_int:
+                raise self._fail(
+                    node,
+                    filename,
+                    "integer-only position holds a float value",
+                )
+            return "float"
+        raise self._fail(
+            node,
+            filename,
+            f"type conflict: value used both as {ka} and as {kb} "
+            "(arrays cannot mix with scalars in the lowered subset)",
+        )
+
+    @staticmethod
+    def _merged_size(x: Optional[int], y: Optional[int]) -> Optional[int]:
+        if x is None:
+            return y
+        if y is None:
+            return x
+        return x if x == y else SIZE_AMBIGUOUS
+
+    def require_int(self, cell: TypeCell, node, filename=None) -> None:
+        """Constrain a cell to a strictly-integral position."""
+        root = self.find(cell)
+        if root.kind == "float":
+            raise self._fail(
+                node,
+                filename or self.filename,
+                "integer-only position holds a float value",
+            )
+        if root.kind == "array":
+            raise self._fail(
+                node,
+                filename or self.filename,
+                "array used where an integer is required",
+            )
+        root.strict_int = True
+        if root.kind == "unknown":
+            root.kind = "int"
+
+    def require_numeric(self, cell: TypeCell, node, filename=None) -> None:
+        """Defer an "is a scalar number" check to :meth:`finish`."""
+        self._numeric_uses.append((cell, node, filename or self.filename))
+
+    def join(self, left: TypeCell, right: TypeCell, node, filename=None):
+        """Result cell of an arithmetic combination of two operands."""
+        filename = filename or self.filename
+        self.require_numeric(left, node, filename)
+        self.require_numeric(right, node, filename)
+        result = self.fresh()
+        self._joins.append((result, left, right, node, filename))
+        return result
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Solve deferred joins to a fixpoint, default unknowns to int."""
+        pending = list(self._joins)
+        changed = True
+        while changed and pending:
+            changed = False
+            remaining = []
+            for item in pending:
+                result, left, right, node, filename = item
+                lk = self.find(left).kind
+                rk = self.find(right).kind
+                if "float" in (lk, rk):
+                    self.unify(result, TypeCell("float"), node, filename)
+                    changed = True
+                elif lk == "int" and rk == "int":
+                    self.unify(result, TypeCell("int"), node, filename)
+                    changed = True
+                else:
+                    remaining.append(item)
+            pending = remaining
+        # operands that never resolved are ints; rerun the survivors once
+        for result, left, right, node, filename in pending:
+            self.unify(left, TypeCell("int"), node, filename)
+            self.unify(right, TypeCell("int"), node, filename)
+            self.unify(result, TypeCell("int"), node, filename)
+        for cell, node, filename in self._numeric_uses:
+            root = self.find(cell)
+            if root.kind == "array":
+                raise self._fail(
+                    node,
+                    filename,
+                    "array used as a scalar value (whole-array arithmetic "
+                    "is outside the lowered subset)",
+                )
+        self._finished = True
+
+    def kind_of(self, cell: TypeCell) -> str:
+        """Concrete kind after :meth:`finish`: 'int' | 'float' | 'array'."""
+        root = self.find(cell)
+        if root.kind == "unknown":
+            return "int"
+        return root.kind
+
+    def elem_kind_of(self, cell: TypeCell) -> str:
+        root = self.find(cell)
+        if root.kind != "array" or root.elem is None:
+            return "int"
+        elem = self.find(root.elem)
+        return "int" if elem.kind in ("unknown", "int") else elem.kind
+
+    def size_of(self, cell: TypeCell) -> Optional[int]:
+        """Statically-known length, or None (unknown / ambiguous)."""
+        root = self.find(cell)
+        if root.kind != "array":
+            return None
+        if root.size is None or root.size == SIZE_AMBIGUOUS:
+            return None
+        return root.size
+
+    def describe(self, cell: TypeCell) -> str:
+        root = self.find(cell)
+        if root.kind == "array":
+            elem = self.describe(root.elem) if root.elem else "unknown"
+            size = "?" if root.size in (None, SIZE_AMBIGUOUS) else root.size
+            return f"list[{elem}; {size}]"
+        return root.kind
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def annotation_cell(self, ann: ast.AST, filename: str) -> TypeCell:
+        """Cell seeded from a parameter / variable annotation."""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                parsed = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                raise FrontendError.at(
+                    ann, f"unparsable annotation {ann.value!r}", filename
+                )
+            for sub in ast.walk(parsed):
+                if hasattr(sub, "lineno"):
+                    sub.lineno = ann.lineno
+                    sub.col_offset = ann.col_offset
+            return self.annotation_cell(parsed, filename)
+        if isinstance(ann, ast.Name):
+            if ann.id in ("int", "bool"):
+                return TypeCell("int")
+            if ann.id == "float":
+                return TypeCell("float")
+            if ann.id == "list":
+                return self.array_cell()
+            raise FrontendError.at(
+                ann, f"unsupported annotation {ann.id!r}", filename
+            )
+        if (
+            isinstance(ann, ast.Subscript)
+            and isinstance(ann.value, ast.Name)
+            and ann.value.id in ("list", "List")
+        ):
+            elem = self.annotation_cell(ann.slice, filename)
+            root = self.find(elem)
+            if root.kind == "array":
+                raise FrontendError.at(
+                    ann,
+                    "nested list annotations are unsupported "
+                    "(flatten to 1-D with computed indices)",
+                    filename,
+                )
+            cell = self.array_cell()
+            self.unify(self.find(cell).elem, elem, ann, filename)
+            return cell
+        raise FrontendError.at(
+            ann, "unsupported annotation (use int, float, bool, list, "
+            "or list[int]/list[float])", filename
+        )
+
+    def declare_function(
+        self, node: ast.FunctionDef, filename: Optional[str] = None
+    ) -> FuncSig:
+        filename = filename or self.filename
+        if node.name in self.sigs:
+            raise FrontendError.at(
+                node, f"duplicate function {node.name!r}", filename
+            )
+        args = node.args
+        if (
+            args.vararg
+            or args.kwarg
+            or args.kwonlyargs
+            or args.posonlyargs
+            or args.defaults
+            or args.kw_defaults
+        ):
+            raise unsupported(
+                node,
+                "*args / **kwargs / keyword-only / default parameters",
+                filename,
+            )
+        params = []
+        for arg in args.args:
+            cell = (
+                self.annotation_cell(arg.annotation, filename)
+                if arg.annotation is not None
+                else self.fresh()
+            )
+            params.append(cell)
+        sig = FuncSig(
+            name=node.name,
+            node=node,
+            filename=filename,
+            params=params,
+            ret=self.fresh(),
+        )
+        if node.returns is not None and not (
+            isinstance(node.returns, ast.Constant)
+            and node.returns.value is None
+        ):
+            self.unify(
+                sig.ret,
+                self.annotation_cell(node.returns, filename),
+                node,
+                filename,
+            )
+        sig.global_names = {
+            name
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Global)
+            for name in sub.names
+        }
+        sig.local_names = assigned_names(node) - sig.global_names
+        for arg, cell in zip(args.args, params):
+            sig.local_names.discard(arg.arg)
+            sig.cells[arg.arg] = cell
+        for name in sig.local_names:
+            sig.cells[name] = self.fresh()
+        self.sigs[node.name] = sig
+        return sig
+
+    def declare_global(self, name: str, cell: TypeCell) -> TypeCell:
+        self.global_cells[name] = cell
+        return cell
+
+    # ------------------------------------------------------------------
+    # constraint generation (statements)
+    # ------------------------------------------------------------------
+
+    def infer_function(self, sig: FuncSig) -> None:
+        for stmt in sig.node.body:
+            self._stmt(stmt, sig)
+
+    def _stmt(self, stmt: ast.stmt, sig: FuncSig) -> None:
+        filename = sig.filename
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1:
+                raise unsupported(
+                    stmt, "chained assignment (x = y = ...)", filename
+                )
+            target = stmt.targets[0]
+            value_cell = self._value_or_array(stmt.value, sig)
+            self._assign_target(target, value_cell, sig)
+        elif isinstance(stmt, ast.AnnAssign):
+            if not isinstance(stmt.target, ast.Name):
+                raise unsupported(stmt, "annotated non-name target", filename)
+            cell = self._name_cell(stmt.target, sig)
+            self.unify(
+                cell,
+                self.annotation_cell(stmt.annotation, filename),
+                stmt,
+                filename,
+            )
+            if stmt.value is not None:
+                self.unify(
+                    cell, self._value_or_array(stmt.value, sig), stmt, filename
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            value_cell = self._expr(stmt.value, sig)
+            if isinstance(stmt.target, ast.Name):
+                cell = self._name_cell(stmt.target, sig)
+                self._augmented(cell, stmt.op, value_cell, stmt, sig)
+            elif isinstance(stmt.target, ast.Subscript):
+                elem = self._subscript_elem(stmt.target, sig)
+                self._augmented(elem, stmt.op, value_cell, stmt, sig)
+            else:
+                raise unsupported(
+                    stmt, "augmented assignment target", filename
+                )
+        elif isinstance(stmt, ast.For):
+            self._for(stmt, sig)
+        elif isinstance(stmt, ast.While):
+            if stmt.orelse:
+                raise unsupported(stmt, "while/else", filename)
+            self.require_numeric(self._expr(stmt.test, sig), stmt, filename)
+            for inner in stmt.body:
+                self._stmt(inner, sig)
+        elif isinstance(stmt, ast.If):
+            self.require_numeric(self._expr(stmt.test, sig), stmt, filename)
+            for inner in stmt.body:
+                self._stmt(inner, sig)
+            for inner in stmt.orelse:
+                self._stmt(inner, sig)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.unify(
+                    sig.ret, self._expr(stmt.value, sig), stmt, filename
+                )
+        elif isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Constant) and isinstance(
+                stmt.value.value, str
+            ):
+                return  # docstring
+            if isinstance(stmt.value, ast.Call):
+                self._expr(stmt.value, sig)
+                return
+            raise unsupported(
+                stmt, "expression statement without effect", filename
+            )
+        elif isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global)):
+            return
+        else:
+            raise unsupported(
+                stmt, type(stmt).__name__.lower(), filename,
+                hint="outside the lowered Python subset",
+            )
+
+    def _augmented(self, cell, op, value_cell, stmt, sig) -> None:
+        filename = sig.filename
+        if isinstance(op, ast.Div):
+            self.unify(cell, TypeCell("float"), stmt, filename)
+            self.require_numeric(value_cell, stmt, filename)
+        elif isinstance(
+            op, (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor)
+        ):
+            self.require_int(cell, stmt, filename)
+            self.require_int(value_cell, stmt, filename)
+        else:
+            joined = self.join(cell, value_cell, stmt, filename)
+            self.unify(cell, joined, stmt, filename)
+
+    def _for(self, stmt: ast.For, sig: FuncSig) -> None:
+        filename = sig.filename
+        if stmt.orelse:
+            raise unsupported(stmt, "for/else", filename)
+        if not isinstance(stmt.target, ast.Name):
+            raise unsupported(
+                stmt, "tuple unpacking in a for target", filename
+            )
+        call = stmt.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "range"
+        ):
+            raise unsupported(
+                stmt,
+                "iteration over a non-range iterable",
+                filename,
+                hint="only `for i in range(...)` loops lower to MIR",
+            )
+        if not 1 <= len(call.args) <= 3 or call.keywords:
+            raise FrontendError.at(
+                call, "range() takes 1-3 positional arguments", filename
+            )
+        for arg in call.args:
+            self.require_int(self._expr(arg, sig), arg, filename)
+        self.require_int(self._name_cell(stmt.target, sig), stmt, filename)
+        for inner in stmt.body:
+            self._stmt(inner, sig)
+
+    def _assign_target(self, target, value_cell, sig: FuncSig) -> None:
+        filename = sig.filename
+        if isinstance(target, ast.Name):
+            self.unify(
+                self._name_cell(target, sig), value_cell, target, filename
+            )
+        elif isinstance(target, ast.Subscript):
+            elem = self._subscript_elem(target, sig)
+            self.require_numeric(value_cell, target, filename)
+            joined = self.join(elem, value_cell, target, filename)
+            self.unify(elem, joined, target, filename)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            raise unsupported(target, "tuple unpacking", filename)
+        else:
+            raise unsupported(target, "assignment target", filename)
+
+    # ------------------------------------------------------------------
+    # constraint generation (expressions)
+    # ------------------------------------------------------------------
+
+    def _value_or_array(self, value: ast.expr, sig: FuncSig) -> TypeCell:
+        """RHS of an assignment: list constructions allowed here only."""
+        spec = array_literal_spec(value)
+        if spec is not None:
+            elem_kind, _ = spec
+            cell = self.array_cell(elem_kind)
+            length = static_array_length(value, self.const_env)
+            self.find(cell).size = length
+            return cell
+        if isinstance(value, (ast.List, ast.ListComp)):
+            raise unsupported(
+                value,
+                "list construction",
+                sig.filename,
+                hint="only `[0] * n` / `[0.0] * n` and literal lists of "
+                "numbers lower to arrays",
+            )
+        return self._expr(value, sig)
+
+    def _name_cell(self, node: ast.Name, sig: FuncSig) -> TypeCell:
+        name = node.id
+        if name in sig.cells:
+            return sig.cells[name]
+        if name in sig.global_names or name in self.global_cells:
+            if name not in self.global_cells:
+                raise FrontendError.at(
+                    node,
+                    f"global {name!r} is not a lowered module-level "
+                    "variable",
+                    sig.filename,
+                )
+            return self.global_cells[name]
+        if name in self.sigs or name in PY_BUILTINS:
+            raise FrontendError.at(
+                node,
+                f"{name!r} is a function; functions are not first-class "
+                "values in the lowered subset",
+                sig.filename,
+            )
+        raise FrontendError.at(
+            node, f"undefined variable {name!r}", sig.filename
+        )
+
+    def _subscript_elem(self, node: ast.Subscript, sig: FuncSig) -> TypeCell:
+        filename = sig.filename
+        if not isinstance(node.value, ast.Name):
+            raise unsupported(
+                node, "subscript of a non-name expression", filename
+            )
+        if isinstance(node.slice, ast.Slice):
+            raise unsupported(node, "slicing", filename)
+        base = self._name_cell(node.value, sig)
+        arr = self.array_cell()
+        self.unify(base, arr, node, filename)
+        index = self._expr(node.slice, sig)
+        self.require_int(index, node, filename)
+        return self.find(base).elem
+
+    def _expr(self, node: ast.expr, sig: FuncSig) -> TypeCell:
+        filename = sig.filename
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, bool) or isinstance(value, int):
+                return TypeCell("int")
+            if isinstance(value, float):
+                return TypeCell("float")
+            raise unsupported(
+                node, f"{type(value).__name__} literal", filename
+            )
+        if isinstance(node, ast.Name):
+            return self._name_cell(node, sig)
+        if isinstance(node, ast.Subscript):
+            return self._subscript_elem(node, sig)
+        if isinstance(node, ast.BinOp):
+            left = self._expr(node.left, sig)
+            right = self._expr(node.right, sig)
+            op = node.op
+            if isinstance(op, ast.Div):
+                self.require_numeric(left, node, filename)
+                self.require_numeric(right, node, filename)
+                return TypeCell("float")
+            if isinstance(
+                op,
+                (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor),
+            ):
+                self.require_int(left, node, filename)
+                self.require_int(right, node, filename)
+                return TypeCell("int")
+            if isinstance(
+                op,
+                (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod, ast.Pow),
+            ):
+                return self.join(left, right, node, filename)
+            raise unsupported(
+                node, f"operator {type(op).__name__}", filename
+            )
+        if isinstance(node, ast.UnaryOp):
+            operand = self._expr(node.operand, sig)
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                self.require_numeric(operand, node, filename)
+                return operand
+            if isinstance(node.op, ast.Not):
+                self.require_numeric(operand, node, filename)
+                return TypeCell("int")
+            self.require_int(operand, node, filename)  # Invert
+            return TypeCell("int")
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.require_numeric(self._expr(value, sig), node, filename)
+            return TypeCell("int")
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise unsupported(
+                    node,
+                    "chained comparison",
+                    filename,
+                    hint="split `a < b < c` into `a < b and b < c`",
+                )
+            if isinstance(node.ops[0], (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                raise unsupported(
+                    node,
+                    f"comparison {type(node.ops[0]).__name__}",
+                    filename,
+                )
+            self.require_numeric(self._expr(node.left, sig), node, filename)
+            self.require_numeric(
+                self._expr(node.comparators[0], sig), node, filename
+            )
+            return TypeCell("int")
+        if isinstance(node, ast.Call):
+            return self._call(node, sig)
+        if isinstance(node, (ast.List, ast.ListComp, ast.Tuple, ast.Dict,
+                             ast.Set)):
+            raise unsupported(
+                node,
+                f"{type(node).__name__.lower()} expression",
+                filename,
+                hint="containers other than flat numeric lists are outside "
+                "the subset",
+            )
+        if isinstance(node, ast.IfExp):
+            raise unsupported(
+                node, "conditional expression", filename,
+                hint="use an if statement",
+            )
+        raise unsupported(node, type(node).__name__, filename)
+
+    def _call(self, node: ast.Call, sig: FuncSig) -> TypeCell:
+        filename = sig.filename
+        if node.keywords:
+            raise unsupported(node, "keyword arguments", filename)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "math"
+                and func.attr in MATH_BUILTINS
+            ):
+                _, arity, result = MATH_BUILTINS[func.attr]
+                if len(node.args) != arity:
+                    raise FrontendError.at(
+                        node,
+                        f"math.{func.attr} expects {arity} argument(s)",
+                        filename,
+                    )
+                for arg in node.args:
+                    self.require_numeric(
+                        self._expr(arg, sig), arg, filename
+                    )
+                return TypeCell(result)
+            raise unsupported(
+                node, "method / attribute call", filename,
+                hint="only math.<fn> attribute calls are lowered",
+            )
+        if not isinstance(func, ast.Name):
+            raise unsupported(node, "indirect call", filename)
+        name = func.id
+        if name in self.sigs:
+            callee = self.sigs[name]
+            if len(node.args) != len(callee.params):
+                raise FrontendError.at(
+                    node,
+                    f"{name}() expects {len(callee.params)} argument(s), "
+                    f"got {len(node.args)}",
+                    filename,
+                )
+            for arg, param in zip(node.args, callee.params):
+                self.unify(self._expr(arg, sig), param, arg, filename)
+            return callee.ret
+        if name in PY_BUILTINS:
+            return self._py_builtin(node, name, sig)
+        raise FrontendError.at(
+            node,
+            f"call to unknown function {name!r} (not a lowered function, "
+            "not a supported builtin)",
+            filename,
+        )
+
+    def _py_builtin(self, node: ast.Call, name: str, sig: FuncSig):
+        filename = sig.filename
+        arg_cells = [self._expr(arg, sig) for arg in node.args]
+        if name == "range":
+            raise FrontendError.at(
+                node,
+                "range() is only supported as a for-loop iterator",
+                filename,
+            )
+        if name == "len":
+            if len(arg_cells) != 1:
+                raise FrontendError.at(
+                    node, "len() expects one argument", filename
+                )
+            self.unify(arg_cells[0], self.array_cell(), node, filename)
+            return TypeCell("int")
+        if name == "print":
+            for cell in arg_cells:
+                self.require_numeric(cell, node, filename)
+            return TypeCell("int")
+        if name in ("int", "bool", "float"):
+            if len(arg_cells) != 1:
+                raise FrontendError.at(
+                    node, f"{name}() expects one argument", filename
+                )
+            self.require_numeric(arg_cells[0], node, filename)
+            return TypeCell("float" if name == "float" else "int")
+        if name == "abs":
+            if len(arg_cells) != 1:
+                raise FrontendError.at(
+                    node, "abs() expects one argument", filename
+                )
+            self.require_numeric(arg_cells[0], node, filename)
+            return self.join(arg_cells[0], TypeCell("int"), node, filename)
+        if name == "pow":
+            if len(arg_cells) != 2:
+                raise FrontendError.at(
+                    node, "pow() expects two arguments", filename
+                )
+            return self.join(arg_cells[0], arg_cells[1], node, filename)
+        if name in ("min", "max"):
+            if len(arg_cells) < 2:
+                raise FrontendError.at(
+                    node, f"{name}() expects at least two arguments", filename
+                )
+            result = arg_cells[0]
+            for cell in arg_cells[1:]:
+                result = self.join(result, cell, node, filename)
+            return result
+        raise unsupported(node, f"builtin {name}", filename)
+
+
+# ---------------------------------------------------------------------------
+# static array-construction analysis (shared with the lowering)
+# ---------------------------------------------------------------------------
+
+
+def array_literal_spec(node: ast.expr):
+    """``(elem_kind, fill)`` when ``node`` is a lowerable array construction.
+
+    Recognized forms: ``[lit] * expr``, ``expr * [lit]``, and flat literal
+    lists of numbers.  Returns None for non-list expressions.
+    """
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        for lst in (node.left, node.right):
+            if isinstance(lst, ast.List):
+                fill = _numeric_literal(lst.elts[0]) if len(lst.elts) == 1 \
+                    else None
+                if fill is None:
+                    return None
+                kind = "float" if isinstance(fill, float) else "int"
+                return kind, fill
+        return None
+    if isinstance(node, ast.List) and node.elts:
+        values = [_numeric_literal(elt) for elt in node.elts]
+        if any(v is None for v in values):
+            return None
+        kind = "float" if any(isinstance(v, float) for v in values) else "int"
+        return kind, values
+    return None
+
+
+def static_array_length(node: ast.expr, env: Optional[dict] = None):
+    """Compile-time length of an array construction, or None."""
+    if isinstance(node, ast.List):
+        return len(node.elts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        lst, count = (
+            (node.left, node.right)
+            if isinstance(node.left, ast.List)
+            else (node.right, node.left)
+        )
+        if not isinstance(lst, ast.List) or len(lst.elts) != 1:
+            return None
+        value = const_eval(count, env or {})
+        if isinstance(value, int) and value > 0:
+            return value
+    return None
+
+
+def _numeric_literal(node: ast.expr):
+    """The int/float value of a (possibly negated) literal, else None."""
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _numeric_literal(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def const_eval(node: ast.expr, env: dict):
+    """Evaluate a compile-time-constant arithmetic expression, else None.
+
+    ``env`` maps module-level constant names to their values (global
+    scalars keep their *initial* value here; good enough for layout-time
+    sizes, which Python code conventionally derives from module constants).
+    """
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        value = const_eval(node.operand, env)
+        return -value if value is not None else None
+    if isinstance(node, ast.BinOp):
+        left = const_eval(node.left, env)
+        right = const_eval(node.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.FloorDiv):
+                return left // right
+            if isinstance(node.op, ast.Mod):
+                return left % right
+            if isinstance(node.op, ast.Pow):
+                return left ** right
+        except (ZeroDivisionError, ValueError):
+            return None
+    return None

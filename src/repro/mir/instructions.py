@@ -169,6 +169,13 @@ BINOPS = {
     "*": lambda a, b: a * b,
     "/": _div,
     "%": _mod,
+    # Python-semantics variants emitted by the Python frontend (repro.frontend):
+    # floor division, true division, floored modulo, and exponentiation match
+    # CPython exactly so lowered functions compute bit-identical results.
+    "//": lambda a, b: a // b,
+    "/f": lambda a, b: a / b,
+    "%%": lambda a, b: a % b,
+    "**": lambda a, b: a**b,
     "<": lambda a, b: 1 if a < b else 0,
     "<=": lambda a, b: 1 if a <= b else 0,
     ">": lambda a, b: 1 if a > b else 0,

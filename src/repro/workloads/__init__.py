@@ -39,6 +39,7 @@ from repro.workloads import bots as _bots  # noqa: F401
 from repro.workloads import textbook as _textbook  # noqa: F401
 from repro.workloads import apps as _apps  # noqa: F401
 from repro.workloads import threaded as _threaded  # noqa: F401
+from repro.workloads import python_suite as _python_suite  # noqa: F401
 
 __all__ = [
     "REGISTRY",

@@ -1,0 +1,292 @@
+"""Python-source workloads (the ``python`` suite).
+
+Ports of the curated kernels to the typed Python subset the frontend
+lowers (:mod:`repro.frontend`), so every registry-wide sweep — the
+determinism tests, the detection benches, the batch runner — exercises
+the Python → MIR path end to end.  Loop ground truth uses the Python
+marker form (``# PAR`` / ``# SEQ`` on the header line), recognized by
+:func:`repro.workloads.registry.ground_truth_from_source` alongside the
+MiniC ``//`` comments.
+
+``matmul_py`` is line-for-line the Python rendering of the MiniC
+``matmul`` workload; the cross-frontend equivalence test relies on the
+two producing the same loop classifications and the same return value.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+
+def _src(template: str, **params) -> str:
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    return out.strip() + "\n"
+
+
+_MATMUL_PY = '''
+N = @N@
+a = [0.0] * @NN@
+b = [0.0] * @NN@
+c = [0.0] * @NN@
+
+def main() -> int:
+    n = N
+    for i in range(n * n):  # PAR
+        a[i] = (i % 13) * 0.25
+        b[i] = (i % 7) * 0.5
+    for i in range(n):  # PAR
+        for j in range(n):  # PAR
+            acc = 0.0
+            for k in range(n):  # SEQ
+                acc += a[i * n + k] * b[k * n + j]
+            c[i * n + j] = acc
+    check = 0.0
+    for i in range(n * n):  # PAR
+        check += c[i]
+    return int(check)
+'''
+
+
+def matmul_py_source(scale: int = 1) -> str:
+    n = 16 * scale
+    return _src(_MATMUL_PY, N=n, NN=n * n)
+
+
+register(Workload("matmul_py", "python", matmul_py_source,
+                  description="dense matrix multiply (Python port of "
+                              "the MiniC matmul workload)",
+                  frontend="python"))
+
+
+_CG_PY = '''
+N = @N@
+a = [0.0] * @NN@
+x = [0.0] * @N@
+r = [0.0] * @N@
+p = [0.0] * @N@
+q = [0.0] * @N@
+
+def main() -> int:
+    n = N
+    for i in range(n):  # PAR
+        for j in range(n):  # PAR
+            v = 0.0
+            if i == j:
+                v = 4.0
+            if i == j + 1 or i + 1 == j:
+                v = -1.0
+            a[i * n + j] = v
+    for i in range(n):  # PAR
+        x[i] = 0.0
+        r[i] = (i % 5) * 0.2 + 1.0
+        p[i] = r[i]
+    rho = 0.0
+    for i in range(n):  # PAR
+        rho += r[i] * r[i]
+    for it in range(@STEPS@):  # SEQ
+        for i in range(n):  # PAR
+            s = 0.0
+            for j in range(n):  # SEQ
+                s += a[i * n + j] * p[j]
+            q[i] = s
+        denom = 0.0
+        for i in range(n):  # PAR
+            denom += p[i] * q[i]
+        alpha = rho / denom
+        for i in range(n):  # PAR
+            x[i] += alpha * p[i]
+            r[i] -= alpha * q[i]
+        rho_new = 0.0
+        for i in range(n):  # PAR
+            rho_new += r[i] * r[i]
+        beta = rho_new / rho
+        rho = rho_new
+        for i in range(n):  # PAR
+            p[i] = r[i] + beta * p[i]
+    total = 0.0
+    for i in range(n):  # PAR
+        total += x[i]
+    return int(total * 1000.0)
+'''
+
+
+def cg_py_source(scale: int = 1) -> str:
+    n = 16 * scale
+    return _src(_CG_PY, N=n, NN=n * n, STEPS=6)
+
+
+register(Workload("cg_py", "python", cg_py_source,
+                  description="conjugate gradient on a tridiagonal system: "
+                              "dot-product reductions around a sequential "
+                              "outer iteration",
+                  frontend="python"))
+
+
+_MANDELBROT_PY = '''
+W = @W@
+H = @H@
+MAXITER = @MAXITER@
+counts = [0] * @NPIX@
+
+def main() -> int:
+    w = W
+    h = H
+    maxiter = MAXITER
+    for py in range(h):  # PAR
+        for px in range(w):  # PAR
+            x0 = px * 3.0 / w - 2.0
+            y0 = py * 2.0 / h - 1.0
+            x = 0.0
+            y = 0.0
+            it = 0
+            while x * x + y * y <= 4.0 and it < maxiter:  # SEQ
+                xt = x * x - y * y + x0
+                y = 2.0 * x * y + y0
+                x = xt
+                it += 1
+            counts[py * w + px] = it
+    total = 0
+    for i in range(w * h):  # PAR
+        total += counts[i]
+    return total
+'''
+
+
+def mandelbrot_py_source(scale: int = 1) -> str:
+    return _src(_MANDELBROT_PY, W=24 * scale, H=16 * scale,
+                NPIX=24 * scale * 16 * scale, MAXITER=32)
+
+
+register(Workload("mandelbrot_py", "python", mandelbrot_py_source,
+                  description="mandelbrot set: independent pixels, "
+                              "imbalanced per-pixel work",
+                  frontend="python"))
+
+
+_HISTOGRAM_PY = '''
+N = @N@
+BINS = @BINS@
+image = [0] * @N@
+hist = [0] * @BINS@
+
+def main() -> int:
+    n = N
+    for i in range(n):  # PAR
+        image[i] = (i * 2654435761) % BINS
+    for i in range(n):  # PAR
+        hist[image[i]] += 1
+    peak = 0
+    for b in range(BINS):  # PAR
+        if hist[b] > peak:
+            peak = hist[b]
+    return peak
+'''
+
+
+def histogram_py_source(scale: int = 1) -> str:
+    return _src(_HISTOGRAM_PY, N=2000 * scale, BINS=32)
+
+
+register(Workload("histogram_py", "python", histogram_py_source,
+                  description="histogram fill with bin conflicts plus a "
+                              "max-reduction scan",
+                  frontend="python"))
+
+
+_PIPELINE_PY = '''
+N = @N@
+raw = [0] * @N@
+mid = [0] * @N@
+out = [0] * @N@
+
+def fill(n: int) -> int:
+    for i in range(n):  # PAR
+        raw[i] = (i * 31 + 7) % 256
+    return 0
+
+def smooth(n: int) -> int:
+    for i in range(n):  # PAR
+        left = raw[i]
+        if i > 0:
+            left = raw[i - 1]
+        mid[i] = (left + raw[i]) // 2
+    return 0
+
+def quantize(n: int) -> int:
+    for i in range(n):  # PAR
+        out[i] = mid[i] >> 2
+    return 0
+
+def checksum(n: int) -> int:
+    total = 0
+    for i in range(n):  # PAR
+        total += out[i]
+    return total
+
+def main() -> int:
+    n = N
+    fill(n)
+    smooth(n)
+    quantize(n)
+    return checksum(n)
+'''
+
+
+def pipeline_py_source(scale: int = 1) -> str:
+    return _src(_PIPELINE_PY, N=1200 * scale)
+
+
+register(Workload("pipeline_py", "python", pipeline_py_source,
+                  description="pipeline-style stages (fill → smooth → "
+                              "quantize → checksum): DOALL inner loops "
+                              "under a sequential stage chain",
+                  frontend="python"))
+
+
+_TASKGRAPH_PY = '''
+N = @N@
+xs = [0] * @N@
+ys = [0] * @N@
+zs = [0] * @N@
+
+def fill_x(n: int) -> int:
+    for i in range(n):  # PAR
+        xs[i] = (i * 17) % 97
+    return 0
+
+def fill_y(n: int) -> int:
+    for i in range(n):  # PAR
+        ys[i] = (i * 29) % 89
+    return 0
+
+def fill_z(n: int) -> int:
+    for i in range(n):  # PAR
+        zs[i] = (i * 41) % 83
+    return 0
+
+def main() -> int:
+    n = N
+    fill_x(n)
+    fill_y(n)
+    fill_z(n)
+    total = 0
+    for i in range(n):  # PAR
+        total += xs[i] + ys[i] + zs[i]
+    return total
+'''
+
+
+def taskgraph_py_source(scale: int = 1) -> str:
+    return _src(_TASKGRAPH_PY, N=900 * scale)
+
+
+register(Workload("taskgraph_py", "python", taskgraph_py_source,
+                  description="task-graph program: three independent fill "
+                              "tasks joined by a reduction",
+                  frontend="python",
+                  task_truth={"fill_x": True}))
+
+PYTHON_NAMES = ("matmul_py", "cg_py", "mandelbrot_py", "histogram_py",
+                "pipeline_py", "taskgraph_py")

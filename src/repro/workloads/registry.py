@@ -6,21 +6,25 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-#: loop-header marker: `for (...) {   // PAR` or `// SEQ`
-_MARKER_RE = re.compile(r"//\s*(PAR|SEQ)\b")
-_LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+#: loop-header marker: MiniC `for (...) {   // PAR` / Python `for ...:  # PAR`
+_MARKER_RE = re.compile(r"(?://|#)\s*(PAR|SEQ)\b")
+_MINIC_LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+_PY_LOOP_RE = re.compile(r"^\s*(for|while)\b.*:")
 
 
 def ground_truth_from_source(source: str) -> dict[int, bool]:
     """Extract {loop header line -> parallel-in-reference?} from markers.
 
     Keeping the truth inline (``// PAR`` / ``// SEQ`` on the loop header
-    line) keeps line numbers and annotations in sync by construction.
+    line — ``# PAR`` / ``# SEQ`` for Python sources) keeps line numbers
+    and annotations in sync by construction.
     """
     truth: dict[int, bool] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         marker = _MARKER_RE.search(text)
-        if marker and _LOOP_RE.search(text):
+        if marker and (
+            _MINIC_LOOP_RE.search(text) or _PY_LOOP_RE.match(text)
+        ):
             truth[lineno] = marker.group(1) == "PAR"
     return truth
 
@@ -34,6 +38,8 @@ class Workload:
     source_fn: Callable[[int], str]
     description: str = ""
     entry: str = "main"
+    #: source language the workload text is written in: "minic" | "python"
+    frontend: str = "minic"
     threaded: bool = False
     #: expected return value per scale (None = don't check)
     expected: Optional[dict[int, int]] = None
@@ -48,6 +54,10 @@ class Workload:
         return ground_truth_from_source(self.source(scale))
 
     def compile(self, scale: int = 1):
+        if self.frontend == "python":
+            from repro.frontend.lowering import compile_python_source
+
+            return compile_python_source(self.source(scale), name=self.name)
         from repro.mir.lowering import compile_source
 
         return compile_source(self.source(scale), name=self.name)

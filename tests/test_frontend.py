@@ -1,0 +1,338 @@
+"""Python-frontend tests: lowering/inference diagnostics, CPython parity,
+cross-frontend equivalence with MiniC, the ``repro.analyze()`` API, and
+the frontend metadata plumbed through configs, artifacts, and the CLI."""
+
+import inspect
+import json
+
+import pytest
+
+import repro
+from repro.engine import (
+    DiscoveryConfig,
+    DiscoveryEngine,
+    DiscoveryResult,
+)
+from repro.frontend import FrontendError, compile_python_source
+from repro.runtime.interpreter import VM
+from repro.workloads import get_workload, ground_truth_from_source
+
+
+def run_py(source: str, entry: str = "main"):
+    module = compile_python_source(source, filename="<test>")
+    vm = VM(module, None, instrument=False)
+    return vm.run(entry)
+
+
+def cpython(source: str, entry: str = "main"):
+    env = {}
+    exec(source, env)
+    return env[entry]()
+
+
+# ---------------------------------------------------------------------------
+# CPython parity: the VM must compute bit-identical results
+# ---------------------------------------------------------------------------
+
+
+KITCHEN_SINK = '''
+import math
+
+N = 10
+data = [0.0] * 10
+
+def helper(v: float) -> float:
+    return math.sqrt(v) + 1.0
+
+def main() -> int:
+    total = 0.0
+    n = N
+    for i in range(n):  # PAR
+        data[i] = helper(i * 1.0) * 0.5
+    i = 0
+    while i < n:  # SEQ
+        total += data[i]
+        i += 1
+    q = 17 // 5 + 17 % 5 + 2 ** 6
+    f = 17 / 5
+    flag = (q > 0 and f > 3.0) or n == 0
+    m = min(3, n, 9) + max(1, q) + abs(0 - 4)
+    if flag:
+        m += int(f) + int(helper(4.0))
+    return int(total * 1000.0) + q + m
+'''
+
+
+def test_kitchen_sink_matches_cpython():
+    assert run_py(KITCHEN_SINK) == cpython(KITCHEN_SINK)
+
+
+def test_short_circuit_preserves_values():
+    src = (
+        "def main() -> int:\n"
+        "    a = 0\n"
+        "    b = 7\n"
+        "    x = a or b\n"
+        "    y = b and 3\n"
+        "    z = a and b\n"
+        "    return x * 100 + y * 10 + z\n"
+    )
+    assert run_py(src) == cpython(src) == 730
+
+
+def test_range_bounds_evaluated_once():
+    # CPython evaluates range() bounds once; writing `n` inside the body
+    # must not change the trip count.
+    src = (
+        "def main() -> int:\n"
+        "    n = 5\n"
+        "    t = 0\n"
+        "    for i in range(n):\n"
+        "        n = 0\n"
+        "        t += 1\n"
+        "    return t\n"
+    )
+    assert run_py(src) == cpython(src) == 5
+
+
+# ---------------------------------------------------------------------------
+# diagnostics: unsupported constructs name the file and line
+# ---------------------------------------------------------------------------
+
+
+DIAGNOSTICS = [
+    ("def main() -> int:\n    a, b = 1, 2\n    return a\n",
+     2, "tuple"),
+    ("def main() -> int:\n    xs = [0] * 4\n    return xs[0]\n",
+     2, "local list variable 'xs'"),
+    ("xs = [1] * 4\ndef main() -> int:\n    t = 0\n"
+     "    for v in xs:\n        t += v\n    return t\n",
+     4, "non-range iterable"),
+    ("def main() -> int:\n    a = 1\n    if 0 < a < 2:\n"
+     "        return 1\n    return 0\n",
+     3, "chained comparison"),
+    ("def main() -> int:\n    return sorted(3)\n",
+     2, "unknown function 'sorted'"),
+    ("a = [1] * 4\ndef main() -> int:\n    return a[1.5]\n",
+     3, "integer-only position"),
+    ("def main() -> int:\n    s = 'hi'\n    return 0\n",
+     2, "str literal"),
+    ("def main() -> int:\n    d = {}\n    return 0\n",
+     2, "dict"),
+    ("def main() -> int:\n    t = 0\n    for i in range(3):\n"
+     "        t += i\n    else:\n        t = 9\n    return t\n",
+     3, "for/else"),
+    ("class A:\n    pass\ndef main() -> int:\n    return 0\n",
+     1, "classdef"),
+    ("def main() -> int:\n    t = 0\n    for i in range(2.5):\n"
+     "        t += 1\n    return t\n",
+     3, "integer-only position"),
+]
+
+
+@pytest.mark.parametrize("source,line,needle", DIAGNOSTICS)
+def test_diagnostics_are_source_mapped(source, line, needle):
+    with pytest.raises(FrontendError) as err:
+        compile_python_source(source, filename="snippet.py")
+    assert err.value.line == line
+    assert needle in str(err.value)
+    assert str(err.value).startswith(f"snippet.py:{line}:")
+
+
+def test_syntax_error_becomes_frontend_error():
+    with pytest.raises(FrontendError) as err:
+        compile_python_source("def main(:\n", filename="bad.py")
+    assert err.value.line == 1
+
+
+# ---------------------------------------------------------------------------
+# cross-frontend equivalence: Python matmul vs MiniC matmul
+# ---------------------------------------------------------------------------
+
+
+def _discover_workload(name):
+    w = get_workload(name)
+    config = DiscoveryConfig(source=w.source(1), name=name, entry=w.entry,
+                             frontend=w.frontend)
+    return DiscoveryEngine(config=config).run()
+
+
+def test_python_matmul_equivalent_to_minic():
+    """The Python port and the MiniC original must agree: same program
+    result, same ordered loop-classification sequence, same suggestion
+    kinds in the same order."""
+    py = _discover_workload("matmul_py")
+    mc = _discover_workload("matmul")
+    assert py.return_value == mc.return_value
+    assert ([str(i.classification) for i in py.loops]
+            == [str(i.classification) for i in mc.loops])
+    assert ([s.kind for s in py.suggestions]
+            == [s.kind for s in mc.suggestions])
+    assert py.profile_stats["frontend"] == "python"
+    assert mc.profile_stats["frontend"] == "minic"
+
+
+def test_python_ground_truth_markers():
+    truth = ground_truth_from_source(
+        "def main() -> int:\n"
+        "    t = 0\n"
+        "    for i in range(4):  # PAR\n"
+        "        t += i\n"
+        "    while t > 0:  # SEQ\n"
+        "        t -= 1\n"
+        "    x = 1  # PAR comment on a non-loop line is ignored\n"
+        "    return t\n"
+    )
+    assert truth == {3: True, 5: False}
+
+
+# ---------------------------------------------------------------------------
+# repro.analyze(): live functions, suggestions at real source lines
+# ---------------------------------------------------------------------------
+
+
+def py_matmul(a: list, b: list, c: list, n: int) -> float:
+    for i in range(n):
+        for j in range(n):
+            acc = 0.0
+            for k in range(n):
+                acc += a[i * n + k] * b[k * n + j]
+            c[i * n + j] = acc
+    return c[0]
+
+
+def test_analyze_reports_real_source_lines():
+    n = 8
+    a = [float(i % 5) for i in range(n * n)]
+    b = [float(i % 3) for i in range(n * n)]
+    result = repro.analyze(py_matmul, args=(a, b, [0.0] * (n * n), n))
+
+    first = inspect.getsourcelines(py_matmul)[1]
+    # every suggestion must map to this very file's line numbering:
+    # i-loop and j-loop (def+1, def+2) are plain DOALL, the inner-product
+    # k-loop (def+4, behind the acc = 0.0 line) is a reduction
+    kinds = {s.start_line: s.kind for s in result.suggestions}
+    assert kinds[first + 1] == "DOALL"
+    assert kinds[first + 2] == "DOALL"
+    assert kinds[first + 4] == "DOALL(reduction)"
+    assert all(s.func == "py_matmul" for s in result.suggestions)
+    assert result.profile_stats["frontend"] == "python"
+    assert result.profile_stats["source_file"] == __file__
+    # the VM computed the same product CPython would
+    c = [0.0] * (n * n)
+    py_matmul(a, b, c, n)
+    assert result.return_value == c[0]
+
+
+def test_candidate_decorator_carries_defaults():
+    @repro.candidate(n_threads=8)
+    def doubler(xs: list, n: int) -> int:
+        for i in range(n):
+            xs[i] = xs[i] * 2
+        return xs[0]
+
+    result = repro.analyze(doubler, args=([1] * 32, 32))
+    assert result.n_threads == 8
+    assert any(s.kind == "DOALL" for s in result.suggestions)
+
+
+# ---------------------------------------------------------------------------
+# parallelize + validate a Python workload: bit-identical execution
+# ---------------------------------------------------------------------------
+
+
+def test_python_workload_parallelizes_bit_identical():
+    w = get_workload("matmul_py")
+    config = DiscoveryConfig(source=w.source(1), name=w.name, entry=w.entry,
+                             frontend=w.frontend, validate=True)
+    engine = DiscoveryEngine(config=config)
+    engine.parallelize()
+    artifact = engine.validate()
+    feasible = artifact.feasible
+    assert feasible, "no transform applied to the Python matmul"
+    assert all(r.identical for r in feasible)
+
+
+# ---------------------------------------------------------------------------
+# plumbing: config fields, artifact round-trip, CLI autodetection
+# ---------------------------------------------------------------------------
+
+
+def test_config_roundtrips_frontend_fields():
+    config = DiscoveryConfig(source="def main() -> int:\n    return 0\n",
+                             frontend="python", source_path="x.py",
+                             source_firstline=5)
+    again = DiscoveryConfig.from_dict(config.to_dict())
+    assert again.frontend == "python"
+    assert again.source_path == "x.py"
+    assert again.source_firstline == 5
+
+
+def test_result_json_roundtrips_frontend_stats():
+    result = _discover_workload("histogram_py")
+    payload = json.dumps(result.to_dict())
+    again = DiscoveryResult.from_dict(json.loads(payload))
+    assert again.profile_stats["frontend"] == "python"
+    assert again.to_dict() == result.to_dict()
+
+
+def test_unknown_frontend_rejected():
+    config = DiscoveryConfig(source="int main() { return 0; }",
+                             frontend="fortran")
+    with pytest.raises(ValueError):
+        DiscoveryEngine(config=config)
+
+
+PY_PROGRAM = (
+    "N = 32\n"
+    "xs = [0] * 32\n"
+    "\n"
+    "def main() -> int:\n"
+    "    total = 0\n"
+    "    for i in range(N):\n"
+    "        xs[i] = i * 3\n"
+    "    for i in range(N):\n"
+    "        total += xs[i]\n"
+    "    return total\n"
+)
+
+
+def _cli_discover_json(capsys, argv):
+    from repro.cli import main
+
+    assert main(argv) == 0
+    data = json.loads(capsys.readouterr().out)
+    return data
+
+
+def test_cli_autodetects_python_by_extension(tmp_path, capsys):
+    path = tmp_path / "prog.py"
+    path.write_text(PY_PROGRAM)
+    data = _cli_discover_json(
+        capsys, ["discover", str(path), "--format", "json"]
+    )
+    result = DiscoveryResult.from_dict(data)
+    assert result.profile_stats["frontend"] == "python"
+    assert result.profile_stats["source_file"] == str(path)
+    assert result.return_value == cpython(PY_PROGRAM)
+
+
+def test_cli_frontend_override_beats_extension(tmp_path, capsys):
+    path = tmp_path / "prog.txt"
+    path.write_text(PY_PROGRAM)
+    data = _cli_discover_json(
+        capsys,
+        ["discover", str(path), "--frontend", "python", "--format", "json"],
+    )
+    result = DiscoveryResult.from_dict(data)
+    assert result.profile_stats["frontend"] == "python"
+
+
+def test_cli_workload_uses_registry_frontend(capsys):
+    data = _cli_discover_json(
+        capsys,
+        ["discover", "--workload", "taskgraph_py", "--format", "json"],
+    )
+    result = DiscoveryResult.from_dict(data)
+    assert result.profile_stats["frontend"] == "python"
+    assert any(s.kind in ("MPMD", "SPMD") for s in result.suggestions)

@@ -4,7 +4,7 @@ with the headline claims (Table 4.1 / 4.6 shapes)."""
 
 import pytest
 
-from repro.discovery import discover_source
+from repro.discovery import discover, discover_source
 from repro.discovery.loops import LoopClass
 from repro.runtime.interpreter import VM
 from repro.workloads import REGISTRY, get_workload, workloads_in_suite
@@ -36,13 +36,19 @@ def test_ground_truth_marks_every_loop(name):
     unmarked = []
     for lineno, text in enumerate(src.splitlines(), 1):
         stripped = text.strip()
-        if (stripped.startswith("for (") or stripped.startswith("while (")) \
-                and lineno not in truth:
+        is_minic_loop = (stripped.startswith("for (")
+                         or stripped.startswith("while ("))
+        is_py_loop = (w.frontend == "python"
+                      and (stripped.startswith("for ")
+                           or stripped.startswith("while ")))
+        if (is_minic_loop or is_py_loop) and lineno not in truth:
             unmarked.append((lineno, stripped))
     assert not unmarked, f"loops without PAR/SEQ markers: {unmarked}"
 
 
-@pytest.mark.parametrize("name", ["CG", "MG", "rgbyuv", "matmul", "dotprod"])
+@pytest.mark.parametrize("name", ["CG", "MG", "rgbyuv", "matmul", "dotprod",
+                                  "matmul_py", "mandelbrot_py",
+                                  "pipeline_py", "taskgraph_py"])
 def test_detection_agrees_with_clear_truth(name):
     """On benchmarks without intended misses: every reference-parallel loop
     must be found.  Extra suggestions on reference-sequential loops are
@@ -50,7 +56,7 @@ def test_detection_agrees_with_clear_truth(name):
     tool also surfaces as "additional suggestions"); plain DOALL on a
     SEQ-marked loop would be a genuine false positive."""
     w = get_workload(name)
-    res = discover_source(w.source(1))
+    res = discover(w.compile(scale=1), entry=w.entry)
     truth = w.ground_truth(1)
     for info in res.loops:
         if info.start_line not in truth:
