@@ -93,10 +93,27 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--detect",
-        choices=("vectorized", "loop"),
+        choices=("vectorized", "loop", "sharded"),
         default="vectorized",
         help="dependence detection core (vectorized: segmented numpy "
-             "scans; loop: the per-event reference walk)",
+             "scans; loop: the per-event reference walk; sharded: "
+             "multi-process addr%%N sharding over shared memory)",
+    )
+    parser.add_argument(
+        "--detect-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker processes of the sharded detection core",
+    )
+    parser.add_argument(
+        "--detect-sampling",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="sharded-core lossy mode: keep roughly RATE of the repeat "
+             "reads (deterministic, stratified per signature/line; "
+             "writes and first reads always ship)",
     )
     parser.add_argument(
         "--spill-trace",
@@ -143,6 +160,8 @@ def _config_from_args(args, source: str, name: str,
         chunk_format=getattr(args, "chunk_format", "columnar"),
         dispatch=getattr(args, "dispatch", "compiled"),
         detect=getattr(args, "detect", "vectorized"),
+        detect_workers=getattr(args, "detect_workers", 4),
+        detect_sampling=getattr(args, "detect_sampling", None),
         spill_trace=getattr(args, "spill_trace", False),
         max_resident_chunks=getattr(args, "max_resident_chunks", 64),
     )
@@ -387,16 +406,32 @@ def _bench_vm(args) -> int:
 
 
 def _bench_detect(args) -> int:
-    """``repro bench --suite detect``: loop vs vectorized detection."""
-    from repro.engine.bench import format_detect_table, run_detect_bench
+    """``repro bench --suite detect``: loop vs vectorized vs sharded."""
+    from repro.engine.bench import (
+        format_detect_table,
+        run_detect_bench,
+        run_detect_scale_bench,
+    )
 
+    sampling = args.detect_sampling
+    if sampling is not None and sampling <= 0:
+        sampling = None
     result = run_detect_bench(
         args.workloads or None,
         scale=args.scale,
         reps=args.reps,
         quick=args.quick,
         chunk_size=args.chunk_size,
+        sharded_workers=args.detect_workers,
+        sampling=sampling,
     )
+    if args.scale_events:
+        result["scale"] = run_detect_scale_bench(
+            n_events=args.scale_events,
+            workers=max(args.detect_workers, 2),
+            sampling=sampling or 0.25,
+            quick=args.quick,
+        )
     if args.format == "json":
         print(json.dumps(result, indent=1))
     else:
@@ -431,6 +466,44 @@ def _bench_detect(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if getattr(args, "detect", None) == "sharded":
+        if not result.get("sharded_all_identical", False):
+            print(
+                "; FAIL: sharded detection stores differ from vectorized",
+                file=sys.stderr,
+            )
+            return 1
+        scale = result.get("scale")
+        if scale is not None:
+            if not scale.get("store_identical", False):
+                print(
+                    "; FAIL: scale-leg sharded store differs "
+                    "from vectorized",
+                    file=sys.stderr,
+                )
+                return 1
+            gate = scale.get("speedup_gate") or {}
+            if gate.get("enforced") and not gate.get("passed"):
+                print(
+                    f"; FAIL: sharded scale speedup "
+                    f"{gate.get('measured', 0.0):.2f}x below required "
+                    f"{gate.get('required', 0.0):.2f}x "
+                    f"({gate.get('cpus')} cpus)",
+                    file=sys.stderr,
+                )
+                return 1
+    if args.min_sampling_accuracy and sampling is not None:
+        prec = result.get("sampling_precision_min", 0.0)
+        rec = result.get("sampling_recall_min", 0.0)
+        if min(prec, rec) < args.min_sampling_accuracy:
+            print(
+                f"; FAIL: sampled detection accuracy precision "
+                f"{prec:.3f} / recall {rec:.3f} below required "
+                f"{args.min_sampling_accuracy:.2f} "
+                f"(rate {sampling})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -591,6 +664,25 @@ def main(argv=None) -> int:
                    help="vm/detect suites: fail if end-to-end profile "
                         "geomean falls below this (default with "
                         "--quick: 1.25 vm, 1.5 detect)")
+    p.add_argument("--detect", choices=("vectorized", "sharded"),
+                   default="vectorized",
+                   help="detect suite: 'sharded' additionally fails the "
+                        "run unless the multi-process core's stores are "
+                        "bit-identical (and the scale leg's speedup gate "
+                        "holds where enforced)")
+    p.add_argument("--detect-workers", type=int, default=2,
+                   help="detect suite: sharded-core worker processes")
+    p.add_argument("--detect-sampling", type=float, default=0.25,
+                   help="detect suite: sampling rate measured for the "
+                        "accuracy gate (0 disables the sampled pass)")
+    p.add_argument("--min-sampling-accuracy", type=float, default=None,
+                   help="detect suite: fail if measured sampled "
+                        "precision or recall falls below this "
+                        "(default with --quick: 0.95; off otherwise)")
+    p.add_argument("--scale-events", type=int, default=None,
+                   help="detect suite: also run the synthetic-stream "
+                        "scale leg with this many events "
+                        "(honors --quick's smoke floor)")
     p.add_argument("--save", metavar="PATH", default=None,
                    help="write the JSON result here "
                         "(default: BENCH_<suite>.json)")
@@ -633,6 +725,8 @@ def main(argv=None) -> int:
         if args.min_profile_ratio is None:
             floor = 1.5 if args.suite == "detect" else 1.25
             args.min_profile_ratio = floor if args.quick else 0.0
+        if args.min_sampling_accuracy is None:
+            args.min_sampling_accuracy = 0.95 if args.quick else 0.0
         if args.save is None:
             args.save = f"BENCH_{args.suite}.json"
     return args.func(args)

@@ -60,15 +60,24 @@ class DiscoveryConfig:
     #: "switch" (the bit-exact string-dispatch reference loop)
     dispatch: str = "compiled"
     #: dependence detection core: "vectorized" (segmented numpy scans,
-    #: see :mod:`repro.profiler.vectorized`) or "loop" (the bit-exact
-    #: per-event reference walk)
+    #: see :mod:`repro.profiler.vectorized`), "loop" (the bit-exact
+    #: per-event reference walk), or "sharded" (multi-process address
+    #: sharding, see :mod:`repro.profiler.sharded`)
     detect: str = "vectorized"
+    #: worker processes of the sharded detection core
+    detect_workers: int = 4
+    #: sharded-core lossy mode: keep roughly this fraction of memory
+    #: events (deterministic, stratified per region/line); None = exact
+    detect_sampling: Optional[float] = None
     #: bound trace memory: spill all but the newest chunks to disk
     spill_trace: bool = False
     #: resident chunk window of the spilling sink
     max_resident_chunks: int = 64
     #: where spill segments go (None = a private temp dir)
     spill_dir: Optional[str] = None
+    #: spill segment format: True = compressed .npz (smaller), False =
+    #: raw .npy (mmap-able zero-copy by the sharded detection workers)
+    spill_compress: bool = True
     #: extra VM constructor keywords (quantum, instrument, ...)
     vm_kwargs: dict = field(default_factory=dict)
     #: worker-pool width of the parallelize/validate phases
@@ -108,6 +117,10 @@ class DiscoveryConfig:
             # custom registered backend without a ``detect`` kwarg must
             # keep working under a default config
             options.setdefault("detect", self.detect)
+        if self.detect == "sharded":
+            options.setdefault("detect_workers", self.detect_workers)
+            if self.detect_sampling is not None:
+                options.setdefault("detect_sampling", self.detect_sampling)
         return options
 
     def to_dict(self) -> dict:
@@ -128,9 +141,12 @@ class DiscoveryConfig:
             "chunk_format": self.chunk_format,
             "dispatch": self.dispatch,
             "detect": self.detect,
+            "detect_workers": self.detect_workers,
+            "detect_sampling": self.detect_sampling,
             "spill_trace": self.spill_trace,
             "max_resident_chunks": self.max_resident_chunks,
             "spill_dir": self.spill_dir,
+            "spill_compress": self.spill_compress,
             "vm_kwargs": dict(self.vm_kwargs),
             "n_workers": self.n_workers,
             "validate": self.validate,
@@ -156,9 +172,12 @@ class DiscoveryConfig:
             chunk_format=data.get("chunk_format", "columnar"),
             dispatch=data.get("dispatch", "compiled"),
             detect=data.get("detect", "vectorized"),
+            detect_workers=data.get("detect_workers", 4),
+            detect_sampling=data.get("detect_sampling"),
             spill_trace=data.get("spill_trace", False),
             max_resident_chunks=data.get("max_resident_chunks", 64),
             spill_dir=data.get("spill_dir"),
+            spill_compress=data.get("spill_compress", True),
             vm_kwargs=dict(data.get("vm_kwargs") or {}),
             n_workers=data.get("n_workers", 4),
             validate=data.get("validate", False),

@@ -158,7 +158,9 @@ class DiscoveryEngine:
         config = self.config
         if config.spill_trace:
             trace = SpillingTraceSink(
-                config.max_resident_chunks, spill_dir=config.spill_dir
+                config.max_resident_chunks,
+                spill_dir=config.spill_dir,
+                compress=config.spill_compress,
             )
         else:
             trace = TraceSink()

@@ -40,6 +40,7 @@ from repro.profiler.deps import DependenceStore
 from repro.profiler.parallel import ParallelProfiler
 from repro.profiler.serial import ControlRecord, SerialProfiler
 from repro.profiler.shadow import PerfectShadow, SignatureShadow
+from repro.profiler.sharded import ShardedDetector
 from repro.profiler.skipping import SkippingProfiler
 from repro.profiler.vectorized import VectorizedProfiler
 
@@ -81,10 +82,13 @@ class SerialBackend:
 
     ``detect`` selects the detection core: ``"vectorized"`` (the
     segmented-scan core of :mod:`repro.profiler.vectorized`, the
-    default) or ``"loop"`` (the per-event reference walk).  Both build
-    bit-identical stores; the §2.4 skipping filter is an inherently
-    per-event state machine, so ``skip_loops`` always runs the loop
-    core underneath.
+    default), ``"loop"`` (the per-event reference walk), or
+    ``"sharded"`` (the multi-process address-sharded core of
+    :mod:`repro.profiler.sharded`; ``detect_workers`` worker
+    processes, optional ``detect_sampling`` lossy mode).  All exact
+    cores build bit-identical stores; the §2.4 skipping filter is an
+    inherently per-event state machine, so ``skip_loops`` always runs
+    the loop core underneath.
     """
 
     def __init__(
@@ -95,18 +99,29 @@ class SerialBackend:
         sig_decoder=None,
         lifetime_analysis: bool = True,
         detect: str = "vectorized",
+        detect_workers: int = 4,
+        detect_sampling: Optional[float] = None,
         name: str = "serial",
     ) -> None:
-        if detect not in ("loop", "vectorized"):
+        if detect not in ("loop", "vectorized", "sharded"):
             raise ValueError(
                 f"unknown detection core {detect!r} "
-                "(expected 'loop' or 'vectorized')"
+                "(expected 'loop', 'vectorized', or 'sharded')"
             )
         if skip_loops:
             detect = "loop"
         self.name = name
         self.detect = detect
-        if detect == "vectorized":
+        self.detect_workers = detect_workers
+        self.detect_sampling = detect_sampling
+        if detect == "sharded":
+            self.profiler = ShardedDetector(
+                signature_slots, sig_decoder,
+                n_shards=detect_workers,
+                sampling=detect_sampling,
+                lifetime_analysis=lifetime_analysis,
+            )
+        elif detect == "vectorized":
             self.profiler = VectorizedProfiler(
                 signature_slots, sig_decoder,
                 lifetime_analysis=lifetime_analysis,
@@ -143,7 +158,14 @@ class SerialBackend:
 
     def finish(self) -> BackendResult:
         profiler = self.profiler
-        if isinstance(profiler, VectorizedProfiler):
+        if isinstance(profiler, ShardedDetector):
+            # joins the workers and merges shard stores + frontiers;
+            # billed as detection time (the workers were scanning)
+            t0 = time.perf_counter()
+            profiler.finalize()
+            self.detect_seconds += time.perf_counter() - t0
+            collisions = profiler.collisions
+        elif isinstance(profiler, VectorizedProfiler):
             t0 = time.perf_counter()
             profiler.flush()
             self.detect_seconds += time.perf_counter() - t0
@@ -167,6 +189,12 @@ class SerialBackend:
             "evictions": profiler.stats.evictions,
             "shadow_collisions": collisions,
         }
+        if isinstance(profiler, ShardedDetector):
+            stats["detect_workers"] = profiler.n_shards
+            stats["shipped_events"] = profiler.shipped_events
+            if profiler.sampler is not None:
+                stats["detect_sampling"] = profiler.sampler.rate
+                stats["sampled_events"] = profiler.sampler.kept_events
         extras: dict = {}
         if self.skip_loops:
             extras["skip_stats"] = self.sink.stats

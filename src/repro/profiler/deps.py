@@ -284,3 +284,29 @@ def compare_dependences(
     fpr = 100.0 * false_pos / n_measured if n_measured else 0.0
     fnr = 100.0 * false_neg / n_baseline if n_baseline else 0.0
     return fpr, fnr, n_measured, n_baseline
+
+
+def store_accuracy(
+    candidate: DependenceStore, reference: DependenceStore
+) -> dict:
+    """Precision/recall of ``candidate`` against an exact ``reference``.
+
+    The accuracy gate for lossy detection (sampling + signature slots):
+    identity is the full dependence key, so a dependence that survives
+    sampling but lands on the wrong line/var/carrier counts against
+    precision rather than silently matching.  Empty-vs-empty scores
+    perfect (a workload with no dependences is reproduced exactly).
+    """
+    cand = candidate.keys()
+    ref = reference.keys()
+    inter = len(cand & ref)
+    precision = inter / len(cand) if cand else 1.0
+    recall = inter / len(ref) if ref else 1.0
+    return {
+        "precision": precision,
+        "recall": recall,
+        "n_candidate": len(cand),
+        "n_reference": len(ref),
+        "false_deps": len(cand - ref),
+        "missed_deps": len(ref - cand),
+    }

@@ -419,9 +419,23 @@ class ParallelProfiler:
         return merged
 
     def memory_bytes(self) -> int:
+        """Full profiler footprint: workers + queues + balancing state.
+
+        Worker ``memory_bytes`` already covers their shadow frontier,
+        staged batches, and partial stores; this adds everything the
+        producer side holds — chunks sitting in the shard queues
+        (threaded mode), the address-override map from rebalancing, the
+        access-count map, and the aggregated control records — so
+        rebalancing decisions and bench reports see the real footprint.
+        """
         total = sum(w.memory_bytes() for w in self.workers)
-        # access-count map for load balancing
+        if self._queues is not None:
+            total += sum(q.pending_nbytes() for q in self._queues)
+        # load-balancing maps: ~104 bytes per dict slot (int keys/values)
         total += 104 * len(self._access_counts)
+        total += 104 * len(self._override)
+        # aggregated control records (producer side owns them)
+        total += 200 * len(self.control)
         return total
 
 

@@ -30,6 +30,19 @@ from typing import Any, Optional
 DONE = object()
 
 
+def _item_bytes(item: Any) -> int:
+    """Best-effort resident size of one queued chunk."""
+    if item is None or item is DONE:
+        return 0
+    nbytes = getattr(item, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    try:
+        return 64 * len(item)  # legacy tuple chunks: ~64 bytes/event
+    except TypeError:
+        return 64
+
+
 class LockedQueue:
     """Mutex-guarded FIFO — the lock-based baseline."""
 
@@ -62,6 +75,11 @@ class LockedQueue:
     def __len__(self) -> int:
         with self._lock:
             return len(self._items)
+
+    def pending_nbytes(self) -> int:
+        """Resident bytes of the queued-but-unconsumed chunks."""
+        with self._lock:
+            return sum(_item_bytes(item) for item in self._items)
 
 
 class SPSCQueue:
@@ -115,6 +133,19 @@ class SPSCQueue:
 
     def __len__(self) -> int:
         return (self._tail - self._head) % self._cap
+
+    def pending_nbytes(self) -> int:
+        """Resident bytes of the queued-but-unconsumed chunks.
+
+        Best-effort snapshot: head/tail are read once; a concurrent
+        consumer can only shrink the window, never corrupt it.
+        """
+        head, tail, cap = self._head, self._tail, self._cap
+        total = 0
+        while head != tail:
+            total += _item_bytes(self._buf[head])
+            head = (head + 1) % cap
+        return total
 
 
 class _MPSCNode:
@@ -188,6 +219,17 @@ class MPSCQueue:
 
     def __len__(self) -> int:  # approximate
         return max(0, self.pushes - self.pops)
+
+    def pending_nbytes(self) -> int:
+        """Resident bytes of the queued-but-unconsumed chunks (snapshot)."""
+        total = 0
+        node, pos = self._head, self._head_pos
+        while node is not None:
+            for i in range(pos, self.node_size):
+                if node.filled[i]:
+                    total += _item_bytes(node.array[i])
+            node, pos = node.next, 0
+        return total
 
 
 def make_queue(kind: str, capacity: int = 4096):

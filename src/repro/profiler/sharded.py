@@ -1,0 +1,873 @@
+"""Sharded multi-process detection: out-of-core dependence analysis.
+
+The vectorized detector (:mod:`repro.profiler.vectorized`) removed the
+per-event Python interpreter from detection, but one process still runs
+every segmented scan under the GIL — the scalability ceiling §2.3.3
+attacks with address sharding.  This module lifts that design across
+*process* boundaries:
+
+* the parent partitions incoming event rows by ``addr % n_shards`` —
+  the same Formula-2.1 partition :class:`ParallelProfiler` uses — with
+  FREE events broadcast to every shard (lifetime eviction must reach
+  every worker holding state for a freed range);
+* each shard's rows travel through ``multiprocessing.shared_memory``
+  slabs: the parent blits packed ``(n, N_COLS)`` int64 rows into a
+  pooled slab and publishes ``("rows", slab, n, ...)`` to every worker;
+  a worker copies out its shard with one boolean gather and acks the
+  slab for reuse.  No event data is ever pickled;
+* spilled raw-``.npy`` segments (``SpillingTraceSink(compress=False)``)
+  skip the slabs entirely: workers ``np.load(..., mmap_mode="r")`` the
+  segment and gather their shard straight out of the page cache;
+* every worker runs the unmodified vectorized segment scans over its
+  shard; at :meth:`ShardedDetector.finalize` the per-shard
+  :class:`DependenceStore`\\ s are streamed into one store
+  (:meth:`DependenceStore.merge_from`, the §2.3.5 runtime merge — its
+  ``to_dict`` ordering is merge-order independent) and the per-shard
+  :class:`ShadowFrontier`\\ s are merged with one sorted gather
+  (:func:`merge_frontiers`; ``addr % n_shards`` makes the key sets
+  disjoint, so the merge is a permutation).
+
+Because each address's full timeline lands in exactly one worker and
+frees reach all of them, the exact mode (perfect shadow) is
+**bit-identical** to the single-process vectorized detector — same
+store, control records, and stats; the frontier matches up to the
+intra-key ordering of ragged read sets, which is batch-boundary
+dependent even in the serial detector (:func:`canonical_frontier`
+normalizes it).  The registry-wide sweep in ``tests/test_detect.py``
+is the tripwire.  With
+``signature_slots`` set, per-shard hashing loses the cross-shard slot
+collisions the serial signature shadow would see (the same documented
+approximation §2.3.3 accepts).
+
+The interned tables ride along incrementally: the loop-signature
+decoder and the string table are unpicklable/monotonic, so the parent
+ships only the *suffix* of newly interned entries with each slab
+message and every worker grows a local mirror — a few tuples per
+message instead of event data.
+
+**Sampling mode** (``sampling=rate``) is the accuracy-gated lossy path:
+the parent forwards every write / control / FREE row but only a
+deterministic hash-selected fraction of the reads — stratified per
+``(loop signature, line, tid)`` so the first read of every access
+context in every loop iteration always ships (see
+:class:`ShardSampler` for why that asymmetry preserves precision).
+``repro bench --suite detect`` measures the resulting precision/recall
+against the exact store (:func:`repro.profiler.deps.store_accuracy`)
+and gates on it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from multiprocessing import shared_memory
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.profiler.deps import DependenceStore
+from repro.profiler.serial import ControlRecord, ProfileStats
+from repro.profiler.vectorized import (
+    ShadowFrontier,
+    VectorizedProfiler,
+    _multiarange,
+    track_control_rows,
+)
+from repro.runtime.events import (
+    COL_ADDR,
+    COL_KIND,
+    COL_LINE,
+    COL_NAME,
+    COL_SIG,
+    COL_TID,
+    COL_TS,
+    EventChunk,
+    K_BGN,
+    K_END,
+    K_FREE,
+    K_READ,
+    K_WRITE,
+    N_COLS,
+    StringTable,
+)
+
+#: worker processes when ``detect_workers`` is not given
+DEFAULT_SHARD_WORKERS = 4
+
+#: rows per shared-memory slab (and the parent's staging batch): 128k
+#: rows x 9 int64 columns = 9 MiB per slab, amortizing the per-message
+#: fixed costs while keeping the slab pool bounded
+DEFAULT_SLAB_ROWS = 1 << 17
+
+#: signature size sampling-mode workers key their frontier on when a
+#: bounded-memory shadow is requested via ``sampling_slots``
+DEFAULT_SAMPLING_SLOTS = 1 << 20
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+# splitmix64 finalizer constants (deterministic event-sampling hash)
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+
+
+class ShardedDetectionError(RuntimeError):
+    """A worker process failed; carries the remote traceback."""
+
+
+# ---------------------------------------------------------------------------
+# sharding + frontier merging (shared by workers and the in-process tests)
+# ---------------------------------------------------------------------------
+
+
+def shard_mask(rows: np.ndarray, n_shards: int, shard: int) -> np.ndarray:
+    """Which rows shard ``shard`` consumes.
+
+    Memory rows partition by ``addr % n_shards`` (Formula 2.1); FREE
+    rows broadcast to every shard — eviction must reach each worker
+    whose address range a freed block overlaps, exactly like
+    :meth:`ParallelProfiler._process_columnar`.
+    """
+    kinds = rows[:, COL_KIND]
+    mem = kinds <= K_WRITE
+    mine = mem & (rows[:, COL_ADDR] % n_shards == shard)
+    return mine | (kinds == K_FREE)
+
+
+def split_rows(rows: np.ndarray, n_shards: int) -> list[np.ndarray]:
+    """Per-shard row subsets, order preserved within each shard."""
+    return [rows[shard_mask(rows, n_shards, s)] for s in range(n_shards)]
+
+
+def merge_frontiers(frontiers) -> ShadowFrontier:
+    """Merge per-shard frontiers into one sorted frontier.
+
+    ``addr % n_shards`` partitions the key space, so the inputs' key
+    sets are disjoint (exact mode) and the merge is a permutation: one
+    stable sort over the concatenated keys, scalar columns gathered
+    directly, the ragged read sets re-gathered entry-block-wise with
+    the same offset arithmetic the in-batch frontier rebuild uses.
+    Associativity/commutativity — any merge order yields bit-identical
+    arrays — follows from the sort; ``tests/test_sharded.py`` checks it
+    property-style.
+    """
+    parts = [f for f in frontiers if len(f)]
+    out = ShadowFrontier()
+    if not parts:
+        return out
+    if len(parts) == 1:
+        src = parts[0]
+        for slot in ShadowFrontier.__slots__:
+            setattr(out, slot, getattr(src, slot).copy())
+        return out
+    all_keys = np.concatenate([f.keys for f in parts])
+    order = np.argsort(all_keys, kind="stable")
+    out.keys = all_keys[order]
+    for slot in ("w_line", "w_sig", "w_tid", "w_ts", "w_addr"):
+        out_col = np.concatenate([getattr(f, slot) for f in parts])
+        setattr(out, slot, out_col[order])
+    counts = np.concatenate([f.read_counts() for f in parts])[order]
+    out.r_off = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+    )
+    # per-entry source offsets into the concatenated flat read arrays
+    bases = np.cumsum([0] + [f.r_line.shape[0] for f in parts[:-1]])
+    src_starts = np.concatenate(
+        [f.r_off[:-1] + base for f, base in zip(parts, bases)]
+    )
+    gather = _multiarange(src_starts[order], counts)
+    for slot in ("r_line", "r_sig", "r_tid", "r_ts"):
+        flat = np.concatenate([getattr(f, slot) for f in parts])
+        setattr(out, slot, flat[gather])
+    return out
+
+
+def canonical_frontier(frontier: ShadowFrontier) -> ShadowFrontier:
+    """Copy with each key's read set in canonical order.
+
+    The order *within* one key's ragged read set depends on where batch
+    boundaries fell (true of the serial vectorized detector too — it is
+    not part of the detector contract; the set contents are).  Sorting
+    each read block by ``(line, sig, tid, ts)`` makes frontiers from
+    different batchings / shardings directly comparable.
+    """
+    out = ShadowFrontier()
+    for slot in ShadowFrontier.__slots__:
+        setattr(out, slot, getattr(frontier, slot).copy())
+    counts = out.read_counts()
+    entry = np.repeat(np.arange(counts.shape[0]), counts)
+    order = np.lexsort((out.r_ts, out.r_tid, out.r_sig, out.r_line, entry))
+    for slot in ("r_line", "r_sig", "r_tid", "r_ts"):
+        setattr(out, slot, getattr(out, slot)[order])
+    return out
+
+
+def _frontier_arrays(frontier: ShadowFrontier) -> dict:
+    """Picklable array bundle (the worker->parent frontier transport)."""
+    return {slot: getattr(frontier, slot) for slot in ShadowFrontier.__slots__}
+
+
+def _frontier_from_arrays(arrays: dict) -> ShadowFrontier:
+    frontier = ShadowFrontier()
+    for slot, arr in arrays.items():
+        setattr(frontier, slot, arr)
+    return frontier
+
+
+# ---------------------------------------------------------------------------
+# the worker process
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker(
+    shard: int,
+    n_shards: int,
+    slab_names: list,
+    slab_rows: int,
+    task_q,
+    result_q,
+    signature_slots: Optional[int],
+    lifetime_analysis: bool,
+) -> None:
+    """Worker main: consume slab/segment messages, detect one shard.
+
+    Module-level (not a closure) so the spawn start method can pickle
+    it; the interned tables arrive as incremental suffixes and grow
+    local mirrors — ``sig_table[sid]`` plays the parent's unpicklable
+    ``vm.loop_signature`` closure.
+    """
+    slabs = []
+    try:
+        slabs = [
+            shared_memory.SharedMemory(name=name) for name in slab_names
+        ]
+        views = [
+            np.ndarray((slab_rows, N_COLS), dtype=np.int64, buffer=s.buf)
+            for s in slabs
+        ]
+        sig_table: list[tuple] = [()]
+        strings = StringTable()
+        profiler = VectorizedProfiler(
+            signature_slots,
+            lambda sid: sig_table[sid],
+            lifetime_analysis=lifetime_analysis,
+            track_control=False,
+        )
+        while True:
+            msg = task_q.get()
+            kind = msg[0]
+            if kind == "finish":
+                break
+            if kind == "rows":
+                _, idx, n, names_sfx, sigs_sfx = msg
+                rows = views[idx][:n]
+                mine = rows[shard_mask(rows, n_shards, shard)]
+                # the gather above copied out of the slab: ack first so
+                # the parent can refill it while this shard detects
+                result_q.put(("ack", idx, shard))
+            else:  # "npy": mmap a raw spill segment, zero staging copy
+                _, path, names_sfx, sigs_sfx = msg
+                seg = np.load(path, mmap_mode="r")
+                mine = seg[shard_mask(seg, n_shards, shard)]
+                del seg
+            if names_sfx:
+                # ids align by construction: the parent ships each
+                # interned value exactly once, in id order
+                strings.values.extend(names_sfx)
+            if sigs_sfx:
+                sig_table.extend(sigs_sfx)
+            if mine.shape[0]:
+                profiler.process_chunk(EventChunk(mine, strings))
+        profiler.flush()
+        result_q.put((
+            "done",
+            shard,
+            {
+                "store": profiler.store,
+                "frontier": _frontier_arrays(profiler.frontier),
+                "deps_built": profiler.stats.deps_built,
+                "collisions": profiler.collisions,
+                "memory_bytes": profiler.memory_bytes(),
+            },
+        ))
+    except BaseException:  # pragma: no cover - exercised via error test
+        result_q.put(("error", shard, traceback.format_exc()))
+    finally:
+        for slab in slabs:
+            slab.close()
+
+
+# ---------------------------------------------------------------------------
+# the accuracy-gated sampler
+# ---------------------------------------------------------------------------
+
+
+#: slots of the sampler's last-kind read guard (uint32 each, 32 MiB):
+#: a slot eviction by a colliding address only forces an extra keep,
+#: and the 31-bit tag makes trusting a stale state — the one failure
+#: that could fabricate a WAW — a ~2^-54 per-pair event
+READ_GUARD_SLOTS = 1 << 23
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array."""
+    x = x.copy()
+    x ^= x >> np.uint64(30)
+    x *= _MIX_B
+    x ^= x >> np.uint64(27)
+    x *= _MIX_C
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class ShardSampler:
+    """Deterministic stratified read sampling (the lossy mode).
+
+    Writes (and control, FREE, allocation rows) always ship: a dropped
+    write would leave stale state in the shadow frontier and bind later
+    accesses to the wrong source — fabricated dependences, a
+    *precision* loss with no bound.  Reads keep with probability
+    ``rate`` under a splitmix64 hash of ``(addr, ts)`` — deterministic,
+    so a sampled run is exactly reproducible — with two classes of
+    reads exempt from the coin flip:
+
+    * the first occurrence of every ``(loop signature, line, tid)``
+      stratum.  The detector classifies a dependence as loop-carried
+      from the *latest* read per line; dropping a repeat read would
+      leave an older iteration's read as latest and flip the carried
+      bit.  Keeping each context's first read per iteration signature
+      keeps that state fresh.
+    * the first read after every write per address (tracked in a
+      last-kind signature table of :data:`READ_GUARD_SLOTS` byte
+      slots).  The §2.5.2 consecutive-write rule suppresses a WAW
+      whenever *any* read intervenes, so one surviving read per write
+      interval preserves WAW suppression exactly; without it, dropped
+      reads resurrect WAWs the exact run never reports.
+
+    What remains sampled are repeat reads within a write interval and
+    iteration — exactly the reads whose dependences are already merged
+    into existing identities, so the loss lands on *recall* of rare
+    access patterns rather than precision.  On a short trace nearly
+    every read is exempt and the sampled run converges to the exact
+    one; on a long trace the strata saturate and the hash keeps
+    roughly ``rate`` of the repeat reads.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("sampling rate must be in (0, 1]")
+        self.rate = rate
+        self.threshold = np.uint64(min(int(rate * 2.0**64), 2**64 - 1))
+        self.kept_events = 0
+        self.total_events = 0
+        self._seen: set[int] = set()
+        # last-kind guard, one uint32 per slot: bit 0 = a read already
+        # shipped since the last write, bits 1-31 = address tag.  A tag
+        # mismatch means another address evicted this one's state; the
+        # guard then errs toward force-keeping (see _guarded_reads), so
+        # slot collisions cost shipped volume, never precision.
+        self._guard = np.zeros(READ_GUARD_SLOTS, dtype=np.uint32)
+
+    def _guarded_reads(
+        self, kinds: np.ndarray, mem_idx: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Boolean (over ``mem_idx``): reads the WAW guard force-keeps.
+
+        Replays the batch's memory accesses per (slot, tag) pseudo
+        address (stable sort preserves trace order within a group) and
+        marks each read whose previous same-address access is a write —
+        plus the group's first read unless the carried-in state proves
+        a read already shipped since this address's last write.
+        """
+        mixed = _mix64(rows[mem_idx, COL_ADDR].astype(np.uint64) * _MIX_A)
+        slots = (mixed & np.uint64(READ_GUARD_SLOTS - 1)).astype(np.int64)
+        tags = (
+            (mixed >> np.uint64(24)) & np.uint64(0x7FFF_FFFF)
+        ).astype(np.uint32)
+        # group by slot AND tag so two colliding addresses replay as
+        # separate sequences instead of interleaving into one
+        key = (slots << np.int64(31)) | tags.astype(np.int64)
+        order = np.argsort(key, kind="stable")
+        s = slots[order]
+        t = tags[order]
+        ky = key[order]
+        k = kinds[mem_idx][order]
+        grp_start = np.empty(s.shape[0], dtype=bool)
+        grp_start[0] = True
+        np.not_equal(ky[1:], ky[:-1], out=grp_start[1:])
+        prev_is_write = np.empty(s.shape[0], dtype=bool)
+        prev_is_write[0] = False
+        np.equal(k[:-1], K_WRITE, out=prev_is_write[1:])
+        prev_is_write &= ~grp_start
+        # carried-in: skip the force-keep only when the slot provably
+        # holds THIS address's state and a read already shipped
+        stored = self._guard[s]
+        read_shipped = (stored >> np.uint32(1) == t) & (
+            stored & np.uint32(1)
+        ).astype(bool)
+        forced = (k == K_READ) & (
+            prev_is_write | (grp_start & ~read_shipped)
+        )
+        grp_end = np.empty(s.shape[0], dtype=bool)
+        grp_end[:-1] = grp_start[1:]
+        grp_end[-1] = True
+        self._guard[s[grp_end]] = (t[grp_end] << np.uint32(1)) | (
+            k[grp_end] == K_READ
+        ).astype(np.uint32)
+        out = np.empty(mem_idx.shape[0], dtype=bool)
+        out[order] = forced
+        return out
+
+    def filter(self, rows: np.ndarray) -> np.ndarray:
+        """Rows that ship, order preserved."""
+        kinds = rows[:, COL_KIND]
+        mem_idx = np.nonzero(kinds <= K_WRITE)[0]
+        self.total_events += rows.shape[0]
+        if mem_idx.shape[0] == 0:
+            self.kept_events += rows.shape[0]
+            return rows
+        keep = self._guarded_reads(kinds, mem_idx, rows)
+        is_read = kinds[mem_idx] == K_READ
+        keep |= ~is_read  # writes always ship
+        read_idx = mem_idx[is_read]
+        if read_idx.shape[0]:
+            x = _mix64(
+                rows[read_idx, COL_ADDR].astype(np.uint64) * _MIX_A
+                ^ rows[read_idx, COL_TS].astype(np.uint64) * _MIX_B
+            )
+            keep[is_read] |= x < self.threshold
+            # stratum key: splitmix-mixed (sig, line, tid); a hash
+            # collision merely treats a new stratum as seen
+            # (deterministically), so correctness never depends on the
+            # packing being injective
+            strat = _mix64(
+                rows[read_idx, COL_SIG].astype(np.uint64) * _MIX_A
+                ^ rows[read_idx, COL_LINE].astype(np.uint64) * _MIX_B
+                ^ rows[read_idx, COL_TID].astype(np.uint64) * _MIX_C
+            )
+            uniq, first = np.unique(strat, return_index=True)
+            seen = self._seen
+            fresh = [
+                i for i, key in enumerate(uniq.tolist()) if key not in seen
+            ]
+            if fresh:
+                seen.update(uniq[fresh].tolist())
+                read_pos = np.nonzero(is_read)[0]
+                keep[read_pos[first[fresh]]] = True
+        mask = np.ones(rows.shape[0], dtype=bool)
+        mask[mem_idx] = keep
+        self.kept_events += int(mask.sum())
+        return rows[mask]
+
+
+# ---------------------------------------------------------------------------
+# the parent-side detector
+# ---------------------------------------------------------------------------
+
+
+class ShardedDetector:
+    """Multi-process detection front end with the vectorized surface.
+
+    Drop-in peer of :class:`VectorizedProfiler` for the backend layer:
+    same chunk-sink call convention and ``store``/``stats``/``control``/
+    ``collisions``/``sig_decoder``/``memory_bytes`` surface, plus
+    :meth:`finalize`, which joins the workers and merges their stores
+    and frontiers (idempotent; :meth:`~SerialBackend.finish` calls it).
+
+    The parent does only O(rows) bookkeeping per batch — kind counts
+    for :class:`ProfileStats`, producer-side BGN/END control records,
+    interned-suffix watermarks, the optional sampler — then one memcpy
+    into a shared-memory slab.  All segmented scanning happens in the
+    workers.
+    """
+
+    def __init__(
+        self,
+        signature_slots: Optional[int] = None,
+        sig_decoder: Optional[Callable[[int], tuple]] = None,
+        *,
+        n_shards: int = DEFAULT_SHARD_WORKERS,
+        sampling: Optional[float] = None,
+        sampling_slots: Optional[int] = None,
+        store: Optional[DependenceStore] = None,
+        lifetime_analysis: bool = True,
+        track_control: bool = True,
+        batch_events: int = DEFAULT_SLAB_ROWS,
+        slab_rows: int = DEFAULT_SLAB_ROWS,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError("need at least one shard worker")
+        self.signature_slots = signature_slots
+        self.n_shards = n_shards
+        self.sampling = sampling
+        self.sampler = ShardSampler(sampling) if sampling is not None else None
+        #: what the workers key their frontier on: ``signature_slots``
+        #: passes through (None = perfect shadow, bit-identical in exact
+        #: mode and precision-preserving in sampling mode); sampling runs
+        #: can cap worker shadow memory with an explicit
+        #: ``sampling_slots`` at an extra aliasing-precision cost
+        self.worker_slots = signature_slots
+        if sampling is not None and sampling_slots is not None:
+            self.worker_slots = sampling_slots
+        self._sig_decoder = sig_decoder or (lambda sig_id: ())
+        self.store = store if store is not None else DependenceStore()
+        self.lifetime_analysis = lifetime_analysis
+        self.track_control = track_control
+        self.batch_events = batch_events
+        self.slab_rows = slab_rows
+        self.stats = ProfileStats()
+        self.control: dict[int, ControlRecord] = {}
+        self.collisions = 0
+        #: merged cross-shard frontier, available after :meth:`finalize`
+        self.frontier: Optional[ShadowFrontier] = None
+        self.worker_memory_bytes = 0
+        self.shipped_events = 0
+        self._start_method = start_method
+        self._strings: Optional[StringTable] = None
+        self._own_strings: Optional[StringTable] = None
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+        # interned-suffix watermarks: slot 0 (None / empty signature) is
+        # pre-seeded in every worker, so shipping starts at id 1
+        self._names_sent = 1
+        self._sigs_sent = 1
+        self._sig_tuples: list[tuple] = [()]
+        self._procs: Optional[list] = None
+        self._task_qs: list = []
+        self._result_q = None
+        self._slabs: list = []
+        self._views: list = []
+        self._free_slabs: list[int] = []
+        self._pending: list[int] = []
+        self._finalized = False
+
+    # -- decoder / tables ----------------------------------------------
+
+    @property
+    def sig_decoder(self):
+        return self._sig_decoder
+
+    @sig_decoder.setter
+    def sig_decoder(self, fn) -> None:
+        if self.shipped_events:
+            raise RuntimeError(
+                "cannot swap the signature decoder after events shipped"
+            )
+        self._sig_decoder = fn
+
+    def _decode_sigs_to(self, max_id: int) -> None:
+        """Mirror newly interned signatures for suffix shipping."""
+        decode = self._sig_decoder
+        tuples = self._sig_tuples
+        for sid in range(len(tuples), max_id + 1):
+            tuples.append(tuple(decode(sid)))
+
+    def _bind_strings(self, strings: StringTable) -> None:
+        if self._strings is None:
+            self._strings = strings
+        elif strings is not self._strings:
+            raise ValueError(
+                "sharded detection requires one string table per run "
+                "(interned ids already shipped to the workers)"
+            )
+
+    def _suffixes(self, rows: np.ndarray) -> tuple[tuple, tuple]:
+        """Interned-table suffixes the shipped rows require."""
+        names_sfx: tuple = ()
+        sigs_sfx: tuple = ()
+        max_nid = int(rows[:, COL_NAME].max(initial=0))
+        if max_nid >= self._names_sent:
+            values = self._strings.values
+            names_sfx = tuple(values[self._names_sent: max_nid + 1])
+            self._names_sent = max_nid + 1
+        max_sig = int(rows[:, COL_SIG].max(initial=0))
+        if max_sig >= self._sigs_sent:
+            self._decode_sigs_to(max_sig)
+            sigs_sfx = tuple(self._sig_tuples[self._sigs_sent: max_sig + 1])
+            self._sigs_sent = max_sig + 1
+        return names_sfx, sigs_sfx
+
+    # -- worker pool ---------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._procs is not None:
+            return
+        method = self._start_method
+        if method is None:
+            method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        ctx = mp.get_context(method)
+        n_slabs = self.n_shards + 2
+        slab_bytes = self.slab_rows * N_COLS * 8
+        self._slabs = [
+            shared_memory.SharedMemory(create=True, size=slab_bytes)
+            for _ in range(n_slabs)
+        ]
+        self._views = [
+            np.ndarray(
+                (self.slab_rows, N_COLS), dtype=np.int64, buffer=s.buf
+            )
+            for s in self._slabs
+        ]
+        self._free_slabs = list(range(n_slabs))
+        self._pending = [0] * n_slabs
+        self._result_q = ctx.Queue()
+        self._task_qs = [ctx.SimpleQueue() for _ in range(self.n_shards)]
+        slab_names = [s.name for s in self._slabs]
+        self._procs = []
+        for shard in range(self.n_shards):
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    shard, self.n_shards, slab_names, self.slab_rows,
+                    self._task_qs[shard], self._result_q,
+                    self.worker_slots, self.lifetime_analysis,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def _pump_result(self, block: bool):
+        import queue as queue_mod
+
+        while True:
+            try:
+                msg = self._result_q.get(
+                    block=block, timeout=120 if block else None
+                )
+            except queue_mod.Empty:
+                if block and any(not p.is_alive() for p in self._procs):
+                    raise ShardedDetectionError(
+                        "a shard worker died without reporting"
+                    ) from None
+                if block:
+                    continue
+                return None
+            if msg[0] == "ack":
+                _, idx, _shard = msg
+                self._pending[idx] -= 1
+                if self._pending[idx] == 0:
+                    self._free_slabs.append(idx)
+                if not block:
+                    continue
+                return msg
+            if msg[0] == "error":
+                raise ShardedDetectionError(
+                    f"shard worker {msg[1]} failed:\n{msg[2]}"
+                )
+            return msg
+
+    def _acquire_slab(self) -> int:
+        while not self._free_slabs:
+            self._pump_result(block=True)
+        return self._free_slabs.pop()
+
+    # -- ingestion -----------------------------------------------------
+
+    def __call__(self, chunk) -> None:
+        self.process_chunk(chunk)
+
+    def process_chunk(self, chunk) -> None:
+        """Stage one chunk — columnar (:class:`EventChunk`) or tuples."""
+        if self._finalized:
+            raise RuntimeError("detector already finalized")
+        if not isinstance(chunk, EventChunk):
+            chunk = list(chunk)
+            if not chunk:
+                return
+            if self._own_strings is None:
+                self._own_strings = (
+                    self._strings
+                    if self._strings is not None
+                    else StringTable()
+                )
+            chunk = EventChunk.from_tuples(chunk, self._own_strings)
+        if chunk.rows.shape[0] == 0:
+            return
+        self._bind_strings(chunk.strings)
+        self._buffer.append(chunk.rows)
+        self._buffered += chunk.rows.shape[0]
+        if self._buffered >= self.batch_events:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship every buffered row to the workers."""
+        if not self._buffer:
+            return
+        if len(self._buffer) == 1:
+            rows = self._buffer[0]
+        else:
+            rows = np.concatenate(self._buffer)
+        self._buffer = []
+        self._buffered = 0
+        self._dispatch(rows)
+
+    def process_segment(self, path: str, strings: StringTable) -> None:
+        """Detect one spilled segment file in stream order.
+
+        Raw ``.npy`` segments broadcast as a path: every worker maps the
+        file read-only and gathers its shard without the parent staging
+        a copy.  Compressed ``.npz`` segments (and any segment under
+        sampling, which must be filtered parent-side) route through the
+        normal slab path.
+        """
+        if self._finalized:
+            raise RuntimeError("detector already finalized")
+        self._bind_strings(strings)
+        self.flush()  # keep stream order: buffered rows ship first
+        if path.endswith(".npy"):
+            rows = np.load(path, mmap_mode="r")
+        else:
+            with np.load(path) as data:
+                rows = data["rows"]
+        if rows.shape[0] == 0:
+            return
+        if self.sampler is not None or not path.endswith(".npy"):
+            self._dispatch(np.asarray(rows))
+            return
+        self._ensure_workers()
+        self._bookkeep(rows)
+        names_sfx, sigs_sfx = self._suffixes(rows)
+        self.shipped_events += rows.shape[0]
+        for task_q in self._task_qs:
+            task_q.put(("npy", path, names_sfx, sigs_sfx))
+
+    def _bookkeep(self, rows: np.ndarray) -> None:
+        kinds = rows[:, COL_KIND]
+        kind_counts = np.bincount(kinds, minlength=K_FREE + 1)
+        self.stats.reads += int(kind_counts[K_READ])
+        self.stats.writes += int(kind_counts[K_WRITE])
+        if self.lifetime_analysis:
+            self.stats.evictions += int(kind_counts[K_FREE])
+        if self.track_control and (
+            kind_counts[K_BGN] or kind_counts[K_END]
+        ):
+            track_control_rows(
+                self.control, rows.T, kinds, self._strings.values
+            )
+
+    def _dispatch(self, rows: np.ndarray) -> None:
+        self._ensure_workers()
+        self._bookkeep(rows)
+        if self.sampler is not None:
+            rows = self.sampler.filter(rows)
+            if rows.shape[0] == 0:
+                return
+        names_sfx, sigs_sfx = self._suffixes(rows)
+        self.shipped_events += rows.shape[0]
+        for start in range(0, rows.shape[0], self.slab_rows):
+            piece = rows[start: start + self.slab_rows]
+            idx = self._acquire_slab()
+            n = piece.shape[0]
+            self._views[idx][:n] = piece
+            self._pending[idx] = self.n_shards
+            msg = ("rows", idx, n, names_sfx, sigs_sfx)
+            names_sfx = sigs_sfx = ()  # suffixes ship once, in order
+            for task_q in self._task_qs:
+                task_q.put(msg)
+
+    # -- completion ----------------------------------------------------
+
+    def finalize(self) -> DependenceStore:
+        """Drain, join the workers, merge stores + frontiers (§2.3.5)."""
+        if self._finalized:
+            return self.store
+        self.flush()
+        if self._procs is None:
+            # nothing ever shipped
+            self.frontier = ShadowFrontier()
+            self._finalized = True
+            return self.store
+        for task_q in self._task_qs:
+            task_q.put(("finish",))
+        frontier_parts: list[ShadowFrontier] = []
+        done = 0
+        while done < self.n_shards:
+            msg = self._pump_result(block=True)
+            if msg is None or msg[0] != "done":
+                continue
+            payload = msg[2]
+            # streaming merge: each shard folds in as it reports
+            self.store.merge_from(payload["store"])
+            frontier_parts.append(
+                _frontier_from_arrays(payload["frontier"])
+            )
+            self.stats.deps_built += payload["deps_built"]
+            self.collisions += payload["collisions"]
+            self.worker_memory_bytes += payload["memory_bytes"]
+            done += 1
+        self.frontier = merge_frontiers(frontier_parts)
+        for proc in self._procs:
+            proc.join(timeout=30)
+        self._result_q.close()
+        self._release_slabs()
+        self._finalized = True
+        return self.store
+
+    def result(self) -> DependenceStore:
+        return self.finalize()
+
+    def _release_slabs(self) -> None:
+        self._views = []
+        for slab in self._slabs:
+            try:
+                slab.close()
+                slab.unlink()
+            except OSError:  # pragma: no cover - double close
+                pass
+        self._slabs = []
+
+    def close(self) -> None:
+        """Abandon the run: kill workers, release shared memory."""
+        if self._procs is not None and not self._finalized:
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in self._procs:
+                proc.join(timeout=5)
+            self._release_slabs()
+            self._finalized = True
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Parent-resident footprint (plus worker totals once merged)."""
+        slab_bytes = len(self._slabs) * self.slab_rows * N_COLS * 8
+        buffered = sum(block.nbytes for block in self._buffer)
+        tables = 64 * len(self._sig_tuples)
+        if self.sampler is not None:
+            tables += (
+                64 * len(self.sampler._seen) + self.sampler._guard.nbytes
+            )
+        return (
+            buffered + slab_bytes + tables + self.store.memory_bytes()
+            + self.worker_memory_bytes
+        )
+
+
+def detect_spilled_trace(sink, detector) -> None:
+    """Stream a recorded trace sink through a detector, in order.
+
+    A :class:`ShardedDetector` consumes raw-``.npy`` spill segments by
+    path (workers map them zero-copy); every other (sink, detector)
+    pairing falls back to ordinary chunk iteration.
+    """
+    segment_paths = getattr(sink, "segment_paths", None)
+    if isinstance(detector, ShardedDetector) and segment_paths:
+        strings = sink.strings
+        for path in segment_paths:
+            detector.process_segment(path, strings)
+        for chunk in sink._resident:
+            detector.process_chunk(chunk)
+        return
+    for chunk in sink.iter_chunks():
+        detector.process_chunk(chunk)

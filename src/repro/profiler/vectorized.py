@@ -114,6 +114,57 @@ def _bits(arr: np.ndarray, lo: int = 0) -> int:
     return max(int(arr.max()).bit_length(), lo, 1)
 
 
+def track_control_rows(control, cols, kinds, names) -> None:
+    """Fold a batch's BGN/END rows into ``control`` records.
+
+    Module-level so producer-side aggregators (the sharded detection
+    parent, which never ships control rows to the workers) can reuse the
+    exact segmented reduction the vectorized detector applies; ``cols``
+    is any column-major int64 view (``rows.T`` works).
+    """
+    cmask = (kinds == K_BGN) | (kinds == K_END)
+    if not cmask.any():
+        return
+    c_idx = np.nonzero(cmask)[0]
+    creg = cols[COL_ADDR, c_idx]
+    # stable region sort: the first row of each segment is the
+    # region's earliest occurrence (record-creation semantics)
+    order = c_idx[np.argsort(creg, kind="stable")]
+    sreg = cols[COL_ADDR, order]
+    starts = np.nonzero(
+        np.concatenate((np.ones(1, dtype=bool), sreg[1:] != sreg[:-1]))
+    )[0]
+    skind = kinds[order]
+    sline = cols[COL_LINE, order]
+    is_bgn = (skind == K_BGN).astype(np.int64)
+    is_end = skind == K_END
+    end_line = np.where(is_end, sline, -1)
+    end_iters = np.where(is_end, cols[COL_AUX, order], 0)
+    bgn_counts = np.add.reduceat(is_bgn, starts)
+    max_end_line = np.maximum.reduceat(end_line, starts)
+    iter_sums = np.add.reduceat(end_iters, starts)
+    first = order[starts]
+    first_nid = cols[COL_NAME, first]
+    first_line = sline[starts]
+    for region, nid, fline, execs, eline, iters in zip(
+        sreg[starts].tolist(),
+        first_nid.tolist(),
+        first_line.tolist(),
+        bgn_counts.tolist(),
+        max_end_line.tolist(),
+        iter_sums.tolist(),
+    ):
+        rec = control.get(region)
+        if rec is None:
+            rec = control[region] = ControlRecord(
+                region, names[nid], fline, fline
+            )
+        rec.executions += execs
+        if eline >= 0:
+            rec.end_line = max(rec.end_line, eline)
+        rec.total_iterations += iters
+
+
 class ShadowFrontier:
     """Array-backed cross-batch shadow state.
 
@@ -476,49 +527,7 @@ class VectorizedProfiler:
     # -- control records -----------------------------------------------
 
     def _track_control(self, cols, kinds, names) -> None:
-        cmask = (kinds == K_BGN) | (kinds == K_END)
-        if not cmask.any():
-            return
-        c_idx = np.nonzero(cmask)[0]
-        creg = cols[COL_ADDR, c_idx]
-        # stable region sort: the first row of each segment is the
-        # region's earliest occurrence (record-creation semantics)
-        order = c_idx[np.argsort(creg, kind="stable")]
-        sreg = cols[COL_ADDR, order]
-        starts = np.nonzero(
-            np.concatenate((np.ones(1, dtype=bool), sreg[1:] != sreg[:-1]))
-        )[0]
-        control = self.control
-        skind = kinds[order]
-        sline = cols[COL_LINE, order]
-        is_bgn = (skind == K_BGN).astype(np.int64)
-        is_end = skind == K_END
-        end_line = np.where(is_end, sline, -1)
-        end_iters = np.where(is_end, cols[COL_AUX, order], 0)
-        bgn_counts = np.add.reduceat(is_bgn, starts)
-        max_end_line = np.maximum.reduceat(end_line, starts)
-        iter_sums = np.add.reduceat(end_iters, starts)
-        first = order[starts]
-        first_nid = cols[COL_NAME, first]
-        first_line = sline[starts]
-        for region, nid, fline, execs, eline, iters in zip(
-            sreg[starts].tolist(),
-            first_nid.tolist(),
-            first_line.tolist(),
-            bgn_counts.tolist(),
-            max_end_line.tolist(),
-            iter_sums.tolist(),
-        ):
-            rec = control.get(region)
-            if rec is None:
-                rec = control[region] = ControlRecord(
-                    region, names[nid], fline, fline
-                )
-            rec.executions += execs
-            if eline >= 0:
-                rec.end_line = max(rec.end_line, eline)
-            rec.total_iterations += iters
-
+        track_control_rows(self.control, cols, kinds, names)
     # -- bulk store merge ----------------------------------------------
 
     def _bulk_merge(

@@ -425,12 +425,17 @@ class SpillingTraceSink:
     """Bounded-memory trace recorder: resident chunk window + npz spill.
 
     Keeps at most ``max_resident_chunks`` packed chunks in RAM; older
-    chunks are spilled to compressed ``.npz`` segment files (one chunk per
-    segment, ``rows`` array only — the string table stays resident, it is
-    tiny and monotonic).  :meth:`events` / :meth:`iter_chunks` re-iterate
-    the full trace in order, loading spilled segments lazily, so CU
-    construction and report generation no longer need the whole trace in
-    memory.
+    chunks are spilled to segment files, one chunk per segment, ``rows``
+    array only — the string table stays resident, it is tiny and
+    monotonic.  ``compress=True`` (the default) writes compressed
+    ``.npz``; ``compress=False`` writes raw ``.npy``, which consumers —
+    notably the sharded detection workers — can
+    ``np.load(..., mmap_mode="r")`` zero-copy straight out of the page
+    cache instead of decompressing per segment (:attr:`segment_paths`
+    exposes the on-disk files).  :meth:`events` / :meth:`iter_chunks`
+    re-iterate the full trace in order, loading spilled segments lazily,
+    so CU construction and report generation no longer need the whole
+    trace in memory.
 
     Tuple chunks are packed on arrival through the reference codec; the
     columnar VM hands over already-packed chunks and shares its string
@@ -482,12 +487,16 @@ class SpillingTraceSink:
         return self._dir
 
     def _spill(self, chunk: EventChunk) -> None:
+        ext = "npz" if self.compress else "npy"
         path = os.path.join(
-            self._ensure_dir(), f"segment-{len(self._segments):06d}.npz"
+            self._ensure_dir(), f"segment-{len(self._segments):06d}.{ext}"
         )
-        save = np.savez_compressed if self.compress else np.savez
         with open(path, "wb") as handle:
-            save(handle, rows=chunk.rows)
+            if self.compress:
+                np.savez_compressed(handle, rows=chunk.rows)
+            else:
+                # raw .npy: a plain array dump, np.load(mmap_mode="r")-able
+                np.save(handle, chunk.rows)
         self._segments.append(path)
         self.n_spilled_chunks += 1
         self.spilled_bytes += os.path.getsize(path)
@@ -504,12 +513,24 @@ class SpillingTraceSink:
     def resident_chunks(self) -> int:
         return len(self._resident)
 
+    @property
+    def segment_paths(self) -> tuple:
+        """Spilled segment files, in trace order (resident chunks excluded)."""
+        return tuple(self._segments)
+
     def iter_chunks(self) -> Iterator[EventChunk]:
-        """All chunks in arrival order; spilled segments load lazily."""
+        """All chunks in arrival order; spilled segments load lazily.
+
+        Raw ``.npy`` segments are memory-mapped read-only — iterating a
+        spilled trace touches only the pages a consumer actually reads.
+        """
         strings = self.strings
         for path in self._segments:
-            with np.load(path) as data:
-                yield EventChunk(data["rows"], strings)
+            if path.endswith(".npy"):
+                yield EventChunk(np.load(path, mmap_mode="r"), strings)
+            else:
+                with np.load(path) as data:
+                    yield EventChunk(data["rows"], strings)
         yield from self._resident
 
     def events(self) -> Iterator[tuple]:

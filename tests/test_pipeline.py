@@ -307,6 +307,34 @@ class TestSpillingTraceSink:
         restored = load_trace(str(path))
         assert list(restored.events()) == list(trace.events())
 
+    def test_raw_npy_spill_roundtrip(self, tmp_path):
+        """compress=False spills raw mmap-loadable .npy segments."""
+        workload = get_workload(TEXTBOOK)
+        module = workload.compile(1)
+        full, _ = record(module, workload.entry, "columnar",
+                         chunk_size=256)
+
+        spilling = SpillingTraceSink(
+            4, spill_dir=str(tmp_path), compress=False
+        )
+        vm = VM(module, spilling, chunk_format="columnar", chunk_size=256)
+        vm.run(workload.entry)
+        assert spilling.n_spilled_chunks > 0
+        paths = spilling.segment_paths
+        assert paths and all(p.endswith(".npy") for p in paths)
+        arr = np.load(paths[0], mmap_mode="r")
+        assert arr.ndim == 2 and arr.shape[0] > 0
+        assert list(spilling.events()) == list(full.events())
+        # save/load still round-trips through the canonical npz artifact
+        path = tmp_path / "trace.npz"
+        spilling.save(str(path))
+        restored = load_trace(str(path))
+        assert list(restored.events()) == list(full.events())
+        spilling.close()
+        assert not any(
+            f.startswith("segment-") for f in os.listdir(tmp_path)
+        )
+
     def test_reloaded_spilled_trace_drives_cu_construction(self, tmp_path):
         """A spilled multi-segment trace, persisted and reloaded with
         ``load_trace``, must drive CU construction exactly like the

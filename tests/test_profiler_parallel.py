@@ -2,6 +2,7 @@
 
 import threading
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -225,6 +226,42 @@ int main() {
         costs = calibrate_costs(n_probe=5_000)
         assert costs.c_proc > 0 and costs.c_push > 0
         assert costs.c_queue > 0 and costs.c_lock_queue > 0
+
+
+class TestMemoryAccounting:
+    """memory_bytes() must see producer-side state, not just workers."""
+
+    def test_queue_pending_nbytes_tracks_real_payloads(self):
+        arr = np.zeros((100, 9), dtype=np.int64)
+        for q in (LockedQueue(), SPSCQueue(8), MPSCQueue(8)):
+            assert q.pending_nbytes() == 0
+            q.push(arr)
+            q.push(arr)
+            assert q.pending_nbytes() >= 2 * arr.nbytes
+            q.pop()
+            q.pop()
+            assert q.pending_nbytes() == 0
+            # the DONE sentinel carries no payload
+            q.push(DONE)
+            assert q.pending_nbytes() == 0
+
+    def test_parallel_memory_covers_measured_lower_bound(self):
+        module = get_workload("histogram").compile(scale=1)
+        par = ParallelProfiler(4, mode="simulated", redistribute_every=2)
+        vm = VM(module, par)
+        par.sig_decoder = vm.loop_signature
+        vm.run()
+        worker_sum = sum(w.memory_bytes() for w in par.workers)
+        # producer-side state exists after a run: control records and
+        # the load-balancing access counts at minimum
+        assert par.control and par._access_counts
+        measured_floor = (
+            worker_sum
+            + 104 * len(par._access_counts)
+            + 200 * len(par.control)
+        )
+        assert par.memory_bytes() >= measured_floor > worker_sum
+        par.finish()
 
 
 # ---------------------------------------------------------------------------
