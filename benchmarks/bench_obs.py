@@ -1,0 +1,47 @@
+"""Observability bench: the disabled-cost gate and mode transparency.
+
+Seeds ``benchmarks/out/BENCH_obs.json`` — the first entry of the
+observability trajectory (the artifact ``repro bench --suite obs``
+also produces).  Measures, per workload on the pipeline trio: engine
+``profile()`` wall time with obs off / metrics-only / full tracing
+(the dependence stores must stay bit-identical across all three), and
+the modelled *disabled* overhead — calibrated per-site
+``NULL_SPAN`` guard cost times the activation count the enabled run
+observed, over the obs-off wall time.  The gated claim: carrying the
+instrumentation costs at most 2 % when nothing records.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.engine.bench import format_obs_table, run_obs_bench
+
+
+def test_obs_overhead(benchmark):
+    result = benchmark.pedantic(
+        run_obs_bench,
+        kwargs={"reps": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit("BENCH_obs", format_obs_table(result))
+    (OUT_DIR / "BENCH_obs.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    # the layer must be transparent (identical stores in every mode)
+    # and free when disabled (the CI-gated 2% bound)
+    assert result["all_stores_identical"]
+    assert result["disabled_overhead_pct_max"] <= 2.0
+
+
+if __name__ == "__main__":
+    result = run_obs_bench()
+    print(format_obs_table(result))
+    (OUT_DIR / "BENCH_obs.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    (OUT_DIR / "BENCH_obs.txt").write_text(
+        format_obs_table(result) + "\n"
+    )

@@ -12,9 +12,13 @@ The unified ``repro`` command drives the staged engine::
     repro report   file.mc            # PET + profiling statistics
     repro report   --load out.json    # re-render a saved result, no re-run
     repro batch    fib sort CG --jobs 4 --format json
+    repro trace    --workload matmul -o matmul.trace.json  # Perfetto timeline
+    repro stats    --workload matmul  # metrics-registry snapshot table
+    repro discover file.mc --obs trace --trace-out out.json
     repro bench    [--quick]          # tuple vs columnar event throughput
     repro bench    --suite vm --quick # compiled vs switch dispatch cores
     repro bench    --suite detect     # vectorized vs loop detection cores
+    repro bench    --suite obs --quick # observability disabled-cost gate
 
 Every subcommand supports ``--format json`` (machine-readable artifact
 dicts, see :mod:`repro.engine.artifacts`) and ``--save PATH`` to persist
@@ -126,6 +130,21 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         default=64,
         help="resident chunk window when spilling",
     )
+    parser.add_argument(
+        "--obs",
+        choices=("off", "metrics", "trace"),
+        default="off",
+        help="observability depth (see docs/OBSERVABILITY.md): metrics "
+             "fills result.metrics, trace adds span tracing across the "
+             "engine, detection workers and the parallel scheduler",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="with --obs trace: write the Chrome trace-event JSON here "
+             "(default: <name>.trace.json; load it in Perfetto)",
+    )
 
 
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
@@ -164,6 +183,35 @@ def _config_from_args(args, source: str, name: str,
         detect_sampling=getattr(args, "detect_sampling", None),
         spill_trace=getattr(args, "spill_trace", False),
         max_resident_chunks=getattr(args, "max_resident_chunks", 64),
+        obs=getattr(args, "obs", "off"),
+    )
+
+
+def _default_trace_path(name: str) -> str:
+    """``<sanitized name>.trace.json`` in the working directory."""
+    import os
+    import re
+
+    base = re.sub(r"[^A-Za-z0-9_.-]+", "_", os.path.basename(name))
+    return f"{base or 'repro'}.trace.json"
+
+
+def _export_trace(args, engine, name: str) -> None:
+    """Write the run's trace when ``--obs trace`` was on (or demanded)."""
+    tracer = engine.obs.tracer
+    if not tracer.enabled:
+        if getattr(args, "trace_out", None):
+            print(
+                "; --trace-out ignored: run with --obs trace",
+                file=sys.stderr,
+            )
+        return
+    out = getattr(args, "trace_out", None) or _default_trace_path(name)
+    n_events = tracer.export_json(out)
+    print(
+        f"; trace: {n_events} events -> {out} "
+        "(load in Perfetto / chrome://tracing)",
+        file=sys.stderr,
     )
 
 
@@ -227,6 +275,7 @@ def cmd_profile(args) -> int:
     profile = engine.profile()
     wall = time.perf_counter() - t0
     _emit(args, profile, format_report(profile.store, profile.control))
+    _export_trace(args, engine, name)
     stats = profile.stats
     print(
         f"; exit={profile.return_value} accesses={stats['accesses']} "
@@ -257,10 +306,19 @@ def cmd_discover(args) -> int:
             )
     else:
         source, name, frontend, path = _read_source(args)
-        engine = DiscoveryEngine(
-            config=_config_from_args(args, source, name, frontend, path)
-        )
+        tracing = getattr(args, "obs", "off") == "trace"
+        if getattr(args, "detect", None) is None:
+            # discover leaves --detect unset (None sentinel) so tracing
+            # can default to the multi-process core: a timeline without
+            # the sharded workers and the ParallelVM validate leg is
+            # mostly one lane
+            args.detect = "sharded" if tracing else "vectorized"
+        config = _config_from_args(args, source, name, frontend, path)
+        if tracing and not getattr(args, "no_validate", False):
+            config.validate = True
+        engine = DiscoveryEngine(config=config)
         result = engine.run()
+        _export_trace(args, engine, name)
     _emit(args, result, result.format_report())
     print(
         f"\n; exit={result.return_value} loops analysed={len(result.loops)} "
@@ -273,6 +331,86 @@ def cmd_discover(args) -> int:
             for phase, seconds in result.timings.items()
         )
         print(f"; phases: {phases}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: full pipeline with span tracing, export timeline.
+
+    Defaults chosen so the exported timeline is interesting: the sharded
+    detection core (its workers contribute per-process lanes) and the
+    validate phase (the ParallelVM workers contribute per-role lanes).
+    """
+    from repro.engine import DiscoveryEngine
+
+    source, name, frontend, path = _read_source(args)
+    config = _config_from_args(args, source, name, frontend, path).replace(
+        obs="trace",
+        validate=not args.no_validate,
+        n_workers=args.workers,
+    )
+    engine = DiscoveryEngine(config=config)
+    result = engine.run()
+    out = args.out or getattr(args, "trace_out", None) \
+        or _default_trace_path(name)
+    tracer = engine.obs.tracer
+    n_events = tracer.export_json(out)
+    lanes = tracer._all_lanes()
+    pids = sorted({row[0] for row in lanes})
+    print(f"trace written: {out}")
+    print(
+        f"  {n_events} events, {len(lanes)} lanes across "
+        f"{len(pids)} processes (load in Perfetto / chrome://tracing)"
+    )
+    for pid, plabel, label, spans, dropped in lanes:
+        drop = f" ({dropped} dropped)" if dropped else ""
+        print(f"  pid {pid} [{plabel}] {label}: {len(spans)} spans{drop}")
+    if result.selfprof.get("phases"):
+        total = sum(result.selfprof["phases"].values()) or 1
+        print("  self time by phase:")
+        for phase, ns in sorted(
+            result.selfprof["phases"].items(), key=lambda kv: -kv[1]
+        ):
+            print(f"    {phase:<24} {ns / 1e6:>10.1f} ms "
+                  f"{ns / total:>6.1%}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """``repro stats``: run with metrics on and render the registry."""
+    from repro.engine import DiscoveryEngine, DiscoveryResult
+    from repro.obs import format_metrics_table
+
+    if args.load:
+        result = _load_artifact_or_exit(args.load)
+        if not isinstance(result, DiscoveryResult):
+            raise SystemExit(
+                f"error: {args.load} is not a saved discovery result"
+            )
+    else:
+        source, name, frontend, path = _read_source(args)
+        config = _config_from_args(args, source, name, frontend, path)
+        if config.obs == "off":
+            config = config.replace(obs="metrics")
+        engine = DiscoveryEngine(config=config)
+        result = engine.run()
+        _export_trace(args, engine, name)
+    if args.format == "json":
+        print(json.dumps(result.metrics, indent=1))
+    else:
+        print(format_metrics_table(result.metrics))
+        if result.timing_detail:
+            print("\nphase timings (count / total / last):")
+            for phase, detail in sorted(result.timing_detail.items()):
+                print(
+                    f"  {phase:<16} x{detail['count']:<3} "
+                    f"total {detail['total']:.3f}s "
+                    f"last {detail['last']:.3f}s"
+                )
+    if args.save:
+        with open(args.save, "w") as handle:
+            json.dump(result.metrics, handle, indent=1)
+        print(f"; saved metrics -> {args.save}", file=sys.stderr)
     return 0
 
 
@@ -290,6 +428,7 @@ def cmd_parallelize(args) -> int:
     engine = DiscoveryEngine(config=config)
     plan = engine.parallelize()
     artifact = engine.validate()
+    _export_trace(args, engine, name)
     text = plan.format_table() + "\n\n" + format_validation_table(
         artifact.reports
     )
@@ -323,6 +462,8 @@ def cmd_bench(args) -> int:
         return _bench_vm(args)
     if args.suite == "detect":
         return _bench_detect(args)
+    if args.suite == "obs":
+        return _bench_obs(args)
     from repro.engine.bench import format_pipeline_table, run_pipeline_bench
 
     result = run_pipeline_bench(
@@ -507,6 +648,48 @@ def _bench_detect(args) -> int:
     return 0
 
 
+def _bench_obs(args) -> int:
+    """``repro bench --suite obs``: the disabled-overhead gate.
+
+    Measures the pipeline with obs off / metrics / trace, verifies the
+    dependence stores stay bit-identical across modes, and bounds the
+    *disabled* cost: per-site guard cost x observed site activations,
+    as a percentage of the obs-off wall time.
+    """
+    from repro.engine.bench import format_obs_table, run_obs_bench
+
+    result = run_obs_bench(
+        args.workloads or None,
+        scale=args.scale,
+        reps=args.reps,
+        quick=args.quick,
+        chunk_size=args.chunk_size,
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=1))
+    else:
+        print(format_obs_table(result))
+    with open(args.save, "w") as handle:
+        json.dump(result, handle, indent=1)
+    print(f"; saved obs bench -> {args.save}", file=sys.stderr)
+    if not result["all_stores_identical"]:
+        print(
+            "; FAIL: obs-on and obs-off dependence stores differ",
+            file=sys.stderr,
+        )
+        return 1
+    gate = args.max_disabled_overhead
+    if gate and result["disabled_overhead_pct_max"] > gate:
+        print(
+            f"; FAIL: worst-case disabled obs overhead "
+            f"{result['disabled_overhead_pct_max']:.3f}% above the "
+            f"{gate:.1f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.engine import DiscoveryEngine, DiscoveryResult
 
@@ -613,10 +796,54 @@ def main(argv=None) -> int:
                    help="thread count assumed by the ranking")
     p.add_argument("--load", metavar="PATH", default=None,
                    help="re-render a saved discovery result (no re-run)")
+    p.add_argument("--no-validate", action="store_true",
+                   help="with --obs trace: skip the validate leg that "
+                        "tracing otherwise turns on for its timeline")
     _add_run_options(p)
     _add_pipeline_options(p)
     _add_output_options(p)
-    p.set_defaults(func=cmd_discover)
+    # None sentinel: --obs trace defaults to the sharded core so the
+    # detection workers contribute timeline lanes (cmd_discover resolves)
+    p.set_defaults(func=cmd_discover, detect=None)
+
+    p = sub.add_parser(
+        "trace",
+        help="run the pipeline with span tracing, export a Chrome trace",
+    )
+    p.add_argument("source", nargs="?",
+                   help="source file (.py is Python, anything else MiniC)")
+    p.add_argument("--workload", help="registry workload name instead")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--workers", type=int, default=4,
+                   help="scheduler worker-pool width for the validate leg")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip the parallelize+validate leg (no ParallelVM "
+                        "worker lanes on the timeline)")
+    p.add_argument("-o", "--out", metavar="PATH", default=None,
+                   help="trace output path (default: <name>.trace.json)")
+    _add_run_options(p)
+    _add_pipeline_options(p)
+    # a trace without worker processes is mostly one lane: default to the
+    # sharded detection core so the timeline carries per-process lanes
+    p.set_defaults(func=cmd_trace, detect="sharded", detect_workers=2,
+                   obs="trace")
+
+    p = sub.add_parser(
+        "stats",
+        help="run with the metrics registry on, render the snapshot",
+    )
+    p.add_argument("source", nargs="?",
+                   help="source file (.py is Python, anything else MiniC)")
+    p.add_argument("--workload", help="registry workload name instead")
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--load", metavar="PATH", default=None,
+                   help="render the metrics of a saved discovery result")
+    _add_run_options(p)
+    _add_pipeline_options(p)
+    _add_output_options(p)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
         "parallelize",
@@ -641,11 +868,12 @@ def main(argv=None) -> int:
     )
     p.add_argument("workloads", nargs="*",
                    help="registry workloads (default: the suite's trio)")
-    p.add_argument("--suite", choices=("pipeline", "vm", "detect"),
+    p.add_argument("--suite", choices=("pipeline", "vm", "detect", "obs"),
                    default="pipeline",
                    help="pipeline: tuple vs columnar chunks; "
                         "vm: switch vs compiled dispatch; "
-                        "detect: loop vs vectorized detection cores")
+                        "detect: loop vs vectorized detection cores; "
+                        "obs: observability overhead (disabled-cost gate)")
     p.add_argument("--scale", type=int, default=None,
                    help="workload scale (default: 1; detect suite: 2 — "
                         "detection throughput is the scaling story)")
@@ -683,6 +911,11 @@ def main(argv=None) -> int:
                    help="detect suite: also run the synthetic-stream "
                         "scale leg with this many events "
                         "(honors --quick's smoke floor)")
+    p.add_argument("--max-disabled-overhead", type=float, default=None,
+                   help="obs suite: fail if the estimated disabled-"
+                        "instrumentation cost exceeds this percentage of "
+                        "profile wall time (default with --quick: 2.0; "
+                        "off otherwise)")
     p.add_argument("--save", metavar="PATH", default=None,
                    help="write the JSON result here "
                         "(default: BENCH_<suite>.json)")
@@ -727,6 +960,8 @@ def main(argv=None) -> int:
             args.min_profile_ratio = floor if args.quick else 0.0
         if args.min_sampling_accuracy is None:
             args.min_sampling_accuracy = 0.95 if args.quick else 0.0
+        if args.max_disabled_overhead is None:
+            args.max_disabled_overhead = 2.0 if args.quick else 0.0
         if args.save is None:
             args.save = f"BENCH_{args.suite}.json"
     return args.func(args)

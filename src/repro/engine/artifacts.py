@@ -324,8 +324,17 @@ class DiscoveryResult:
     vm: Optional[VM] = None
     #: thread count the suggestions were ranked for
     n_threads: int = 4
-    #: wall seconds per engine phase (profile/build_cus/detect/rank)
+    #: wall seconds per engine phase (profile/build_cus/detect/rank);
+    #: re-entrant phases accumulate, so values are per-phase totals
     timings: dict = field(default_factory=dict)
+    #: per-phase {count, total, last} behind the totals in ``timings``
+    timing_detail: dict = field(default_factory=dict)
+    #: metrics-registry snapshot ({} unless config.obs was on); render
+    #: with :func:`repro.obs.format_metrics_table` or ``repro stats``
+    metrics: dict = field(default_factory=dict)
+    #: self-profiling aggregates ({} unless config.obs == "trace"):
+    #: per-phase self time, hottest span paths, sampling shares
+    selfprof: dict = field(default_factory=dict)
     #: Phase-1 statistics (backend name, event counts, trace bytes, ...)
     profile_stats: dict = field(default_factory=dict)
     #: validate-phase reports (present when the engine ran with
@@ -369,6 +378,12 @@ class DiscoveryResult:
             },
             "suggestions": [s.to_dict() for s in self.suggestions],
             "timings": dict(self.timings),
+            "timing_detail": {
+                phase: dict(detail)
+                for phase, detail in self.timing_detail.items()
+            },
+            "metrics": dict(self.metrics),
+            "selfprof": dict(self.selfprof),
             "profile_stats": dict(self.profile_stats),
             "validations": [r.to_dict() for r in self.validations],
             "prediction_error": self.prediction_error,
@@ -399,6 +414,12 @@ class DiscoveryResult:
             },
             n_threads=data.get("n_threads", 4),
             timings=dict(data.get("timings") or {}),
+            timing_detail={
+                phase: dict(detail)
+                for phase, detail in (data.get("timing_detail") or {}).items()
+            },
+            metrics=dict(data.get("metrics") or {}),
+            selfprof=dict(data.get("selfprof") or {}),
             profile_stats=dict(data.get("profile_stats") or {}),
             validations=[
                 ValidationReport.from_dict(r)

@@ -63,11 +63,20 @@ def run_job(job: dict) -> dict:
                 frontend=job.get("frontend", "minic"),
                 **job.get("overrides", {}),
             )
-        result = DiscoveryEngine(config=config).run()
+        engine = DiscoveryEngine(config=config)
+        result = engine.run()
     except Exception as exc:  # a bad job must not sink the whole batch
         row["error"] = f"{type(exc).__name__}: {exc}"
         row["traceback"] = traceback.format_exc()
     else:
+        if result.metrics:
+            # jobs run in pool processes: metrics ride the row home, and
+            # span lanes ship in Tracer transport form for the parent
+            # CLI to absorb onto one timeline
+            row["metrics"] = result.metrics
+        if engine.obs.tracer.enabled:
+            row["spans"] = engine.obs.tracer.ship()
+            row["timing_detail"] = dict(result.timing_detail)
         top = result.suggestions[0] if result.suggestions else None
         row.update(
             ok=True,

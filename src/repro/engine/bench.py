@@ -1,6 +1,6 @@
 """Performance benchmarks: the event pipeline, VM dispatch, detection.
 
-Three suites live here:
+Four suites live here:
 
 * **pipeline** (:func:`run_pipeline_bench`) — tuple vs. columnar chunk
   formats through the dependence profiler (the PR-2 trajectory seed,
@@ -21,6 +21,12 @@ Three suites live here:
   with a generated 10⁸-event synthetic stream and gates the out-of-core
   claim on recorded RSS, with the sharded speedup gate conditional on
   available CPUs.
+* **obs** (:func:`run_obs_bench`) — the observability layer
+  (:mod:`repro.obs`): engine ``profile()`` wall time with obs off /
+  metrics-only / full tracing, bit-identical dependence stores across
+  all three modes, and the CI-gated *disabled* overhead bound —
+  calibrated per-site guard cost times observed site activations, held
+  under 2 % of the obs-off wall time (``BENCH_obs.json``).
 
 The pipeline suite measures the hottest consumer path — pushing the
 instrumentation event stream through the dependence profiler:
@@ -1045,5 +1051,180 @@ def format_pipeline_table(result: dict) -> str:
         f"(min {result['throughput_ratio_min']:.2f}); trace bytes "
         f"{result['trace_bytes_ratio_geomean']:.2f}x smaller columnar; "
         f"peak RSS {result['ru_maxrss_kb']} kB"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the observability suite
+# ---------------------------------------------------------------------------
+
+#: the obs bench trio mirrors the pipeline suite: one textbook, one NAS,
+#: one recursion-heavy workload, so the disabled-overhead bound covers
+#: both chunk-dense loops and call/ret-dense traces
+OBS_BENCH_WORKLOADS = ("pi", "EP", "fft")
+
+#: instrumentation-site calibration loop length (per measurement pass)
+_OBS_CALIBRATION_CALLS = 200_000
+
+
+def _disabled_site_cost_ns(calls: int = _OBS_CALIBRATION_CALLS) -> float:
+    """Per-activation cost of one *disabled* instrumentation site, in ns.
+
+    Every site in the pipeline guards on a single attribute
+    (``tracer.enabled``) before doing any tracing work; the most
+    expensive disabled form is the unconditional
+    ``with tracer.span(...)`` used at phase granularity, which still
+    allocates nothing but pays a method call plus the shared
+    :data:`~repro.obs.trace.NULL_SPAN` enter/exit.  This measures that
+    worst form (best of three passes), so the modelled overhead is an
+    upper bound on what real sites pay.
+    """
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(enabled=False)
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter_ns()
+        for _ in range(calls):
+            with tracer.span("calibrate", "obs"):
+                pass
+        best = min(best, (time.perf_counter_ns() - t0) / calls)
+    return best
+
+
+def bench_obs_workload(
+    name: str, *, scale: int = 1, reps: int = 3,
+    site_cost_ns: float = 0.0,
+) -> dict:
+    """One workload through the engine ``profile()`` phase per obs mode.
+
+    Fresh engine per repetition (``profile()`` caches per instance);
+    best-of-``reps`` wall per mode from ``engine.timings``.  The
+    dependence stores must stay bit-identical across all three modes —
+    observability must never perturb what the pipeline computes.
+    """
+    from repro.engine.config import DiscoveryConfig
+    from repro.engine.core import DiscoveryEngine
+
+    from repro.workloads import get_workload
+
+    workload = get_workload(name)
+    row: dict = {"workload": name}
+    stores = {}
+    n_spans = 0
+    n_metrics = 0
+    for mode in ("off", "metrics", "trace"):
+        best = float("inf")
+        for _ in range(reps):
+            engine = DiscoveryEngine(
+                config=DiscoveryConfig(
+                    source=workload.source(scale), name=name,
+                    entry=workload.entry, obs=mode,
+                )
+            )
+            artifact = engine.profile()
+            best = min(best, engine.timings["profile"])
+        stores[mode] = artifact.store.to_dict()
+        row[f"{mode}_seconds"] = best
+        if mode == "trace":
+            n_spans = engine.obs.tracer.n_spans
+        if engine.obs.metrics is not None:
+            n_metrics = len(engine.obs.metrics.snapshot())
+    row["events"] = artifact.stats["trace_events"]
+    row["n_spans"] = n_spans
+    row["n_metrics"] = n_metrics
+    row["stores_identical"] = (
+        stores["off"] == stores["metrics"] == stores["trace"]
+    )
+    off = row["off_seconds"]
+    row["metrics_overhead_pct"] = (
+        (row["metrics_seconds"] / off - 1.0) * 100.0 if off else 0.0
+    )
+    row["trace_overhead_pct"] = (
+        (row["trace_seconds"] / off - 1.0) * 100.0 if off else 0.0
+    )
+    # the gated number: disabled sites cost one guarded call apiece;
+    # the enabled run counts how often sites would activate, so
+    # (per-site cost x activations) / obs-off wall bounds what the
+    # disabled build pays for carrying the instrumentation at all
+    row["disabled_overhead_pct"] = (
+        site_cost_ns * n_spans / (off * 1e9) * 100.0 if off else 0.0
+    )
+    return row
+
+
+def run_obs_bench(
+    workloads=None,
+    *,
+    scale: int = 1,
+    reps: int = 3,
+    quick: bool = False,
+    chunk_size: int = 4096,
+) -> dict:
+    """Benchmark the observability layer (``BENCH_obs.json``).
+
+    Two claims are gated: the dependence stores are bit-identical with
+    observability off, metrics-only, and full tracing
+    (``all_stores_identical``), and the *disabled* layer costs at most
+    2 % of profile wall time (``disabled_overhead_pct_max`` — modelled
+    as calibrated per-site guard cost times the activation count the
+    enabled run observed).  The enabled overheads are reported but not
+    gated; tracing is opt-in.
+    """
+    del chunk_size  # engine profile() owns its chunking; kept for CLI parity
+    names = list(workloads) if workloads else list(OBS_BENCH_WORKLOADS)
+    if quick:
+        reps = max(2, reps - 1)
+    site_cost = _disabled_site_cost_ns()
+    rows = [
+        bench_obs_workload(
+            name, scale=scale, reps=reps, site_cost_ns=site_cost,
+        )
+        for name in names
+    ]
+    return {
+        "bench": "obs",
+        "workloads": rows,
+        "disabled_site_cost_ns": site_cost,
+        "disabled_overhead_pct_max": max(
+            r["disabled_overhead_pct"] for r in rows
+        ) if rows else 0.0,
+        "metrics_overhead_pct_max": max(
+            r["metrics_overhead_pct"] for r in rows
+        ) if rows else 0.0,
+        "trace_overhead_pct_max": max(
+            r["trace_overhead_pct"] for r in rows
+        ) if rows else 0.0,
+        "all_stores_identical": all(r["stores_identical"] for r in rows),
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "quick": quick,
+    }
+
+
+def format_obs_table(result: dict) -> str:
+    """Fixed-width rendering in the benchmarks/out house style."""
+    header = (
+        f"{'workload':12s} {'off s':>8s} {'metrics s':>10s} "
+        f"{'trace s':>8s} {'spans':>7s} {'metr %':>7s} {'trace %':>8s} "
+        f"{'disabled %':>10s} {'identical':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result["workloads"]:
+        lines.append(
+            f"{row['workload']:12s} {row['off_seconds']:8.3f} "
+            f"{row['metrics_seconds']:10.3f} {row['trace_seconds']:8.3f} "
+            f"{row['n_spans']:7d} {row['metrics_overhead_pct']:+6.1f}% "
+            f"{row['trace_overhead_pct']:+7.1f}% "
+            f"{row['disabled_overhead_pct']:9.4f}% "
+            f"{str(row['stores_identical']):>9s}"
+        )
+    lines.append(
+        f"disabled site {result['disabled_site_cost_ns']:.0f} ns/call; "
+        f"worst disabled overhead "
+        f"{result['disabled_overhead_pct_max']:.4f}% "
+        f"(gate 2%); stores "
+        f"{'identical' if result['all_stores_identical'] else 'MISMATCHED'}"
+        f"; peak RSS {result['ru_maxrss_kb']} kB"
     )
     return "\n".join(lines)

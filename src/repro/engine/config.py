@@ -87,6 +87,10 @@ class DiscoveryConfig:
     validate: bool = False
     #: steps one worker executes per scheduler tick
     parallel_quantum: int = 256
+    #: observability depth (see :mod:`repro.obs`): "off" records
+    #: nothing, "metrics" fills DiscoveryResult.metrics, "trace" adds
+    #: span tracing + self-profiling (export with ``repro trace``)
+    obs: str = "off"
 
     def replace(self, **changes) -> "DiscoveryConfig":
         """A copy with the given fields changed (dataclasses.replace)."""
@@ -151,6 +155,7 @@ class DiscoveryConfig:
             "n_workers": self.n_workers,
             "validate": self.validate,
             "parallel_quantum": self.parallel_quantum,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -182,4 +187,5 @@ class DiscoveryConfig:
             n_workers=data.get("n_workers", 4),
             validate=data.get("validate", False),
             parallel_quantum=data.get("parallel_quantum", 256),
+            obs=data.get("obs", "off"),
         )

@@ -56,6 +56,7 @@ from repro.engine.artifacts import (
 from repro.engine.config import DiscoveryConfig
 from repro.mir.lowering import compile_source
 from repro.mir.module import Module
+from repro.obs import ObsSession
 from repro.parallelize import (
     build_transform_plan,
     run_sequential_reference,
@@ -120,8 +121,12 @@ class DiscoveryEngine:
         #: number of validation executions (sequential reference + one
         #: parallel run per feasible transform)
         self.validation_runs = 0
-        #: wall seconds of the most recent run of each phase
+        #: accumulated wall seconds per phase (re-entrant phases add up)
         self.timings: dict[str, float] = {}
+        #: per-phase {count, total, last} behind the totals above
+        self.timing_detail: dict[str, dict] = {}
+        #: per-run observability bundle (mode, tracer, metrics)
+        self.obs = ObsSession(config.obs)
         self._profile: Optional[ProfileArtifact] = None
         self._cus: Optional[CUArtifact] = None
         self._detect: Optional[DetectArtifact] = None
@@ -138,6 +143,53 @@ class DiscoveryEngine:
         """Build an engine straight from MiniC source text."""
         return cls(config=DiscoveryConfig(source=source, **overrides))
 
+    def _record_timing(self, phase: str, wall: float) -> None:
+        """Accumulate a phase wall time (re-entrant phases add, not clobber).
+
+        ``timings[phase]`` stays the float *total* for backward compat;
+        ``timing_detail[phase]`` carries count/total/last so a forced
+        re-run is distinguishable from a single slow one.
+        """
+        detail = self.timing_detail.get(phase)
+        if detail is None:
+            detail = self.timing_detail[phase] = {
+                "count": 0, "total": 0.0, "last": 0.0,
+            }
+        detail["count"] += 1
+        detail["total"] += wall
+        detail["last"] = wall
+        self.timings[phase] = detail["total"]
+
+    def _wrap_tee(self, inner):
+        """Observe each VM execution window flowing through the tee.
+
+        Per-window, not per-event: one span / histogram update per chunk
+        keeps the instrumented overhead proportional to chunk count.
+        """
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        windows = window_events = None
+        if metrics is not None:
+            windows = metrics.counter(
+                "vm.windows", "execution windows shipped through the tee"
+            )
+            window_events = metrics.histogram(
+                "vm.window_events", "events per execution window"
+            )
+
+        def tee(chunk) -> None:
+            n = len(chunk)
+            if tracer.enabled:
+                with tracer.span("vm.window", "vm", n_events=n):
+                    inner(chunk)
+            else:
+                inner(chunk)
+            if windows is not None:
+                windows.inc()
+                window_events.observe(n)
+
+        return tee
+
     # ------------------------------------------------------------------
     # Phase 1: profile
     # ------------------------------------------------------------------
@@ -148,8 +200,9 @@ class DiscoveryEngine:
             import time as _time
 
             t0 = _time.perf_counter()
-            self._profile = self._run_profile()
-            self.timings["profile"] = _time.perf_counter() - t0
+            with self.obs.tracer.span("phase.profile", "engine"):
+                self._profile = self._run_profile()
+            self._record_timing("profile", _time.perf_counter() - t0)
             self._cus = self._detect = self._rank = None
             self._transform = self._validate = None
         return self._profile
@@ -174,6 +227,12 @@ class DiscoveryEngine:
             backend(chunk)
             pet.process_chunk(chunk)
 
+        if self.obs.active:
+            tee = self._wrap_tee(tee)
+            attach = getattr(backend, "attach_obs", None)
+            if attach is not None:
+                attach(self.obs.tracer, self.obs.metrics)
+
         vm = VM(
             self.module,
             tee,
@@ -185,11 +244,12 @@ class DiscoveryEngine:
         import time as _time
 
         t0 = _time.perf_counter()
-        return_value = vm.run(config.entry)
+        with self.obs.tracer.span("vm.run", "vm", entry=config.entry):
+            return_value = vm.run(config.entry)
         vm_wall = _time.perf_counter() - t0
         # per-variant wall time: the instrumented execution (event
         # staging and sink processing included) under the core that ran
-        self.timings[f"vm_{vm.effective_dispatch}"] = vm_wall
+        self._record_timing(f"vm_{vm.effective_dispatch}", vm_wall)
         result = backend.finish()
         stats = dict(result.stats)
         stats["chunk_format"] = config.chunk_format
@@ -207,6 +267,31 @@ class DiscoveryEngine:
         stats["vm_steps"] = vm.total_steps
         stats["trace_events"] = trace.n_events
         stats["trace_nbytes"] = trace.nbytes
+        if self.obs.metrics is not None:
+            m = self.obs.metrics
+            m.counter(
+                "engine.vm_runs", "instrumented VM executions"
+            ).inc()
+            m.counter(
+                "engine.vm_steps", "interpreter/compiled steps executed"
+            ).inc(vm.total_steps)
+            m.counter(
+                "engine.trace_events", "runtime events recorded"
+            ).inc(trace.n_events)
+            m.gauge(
+                "engine.trace_nbytes", "bytes held by the trace sink"
+            ).set(trace.nbytes)
+            deps = stats.get("deps")
+            raw = stats.get("raw_occurrences")
+            if deps is not None:
+                m.gauge("detect.deps", "merged dependence edges").set(deps)
+            if raw is not None and deps:
+                m.gauge("detect.raw_occurrences",
+                        "pre-merge dependence occurrences").set(raw)
+                m.gauge(
+                    "detect.dedup_ratio",
+                    "raw occurrences per merged dependence",
+                ).set(round(raw / deps, 4))
         if isinstance(trace, SpillingTraceSink):
             stats["spilled_chunks"] = trace.n_spilled_chunks
             stats["spilled_bytes"] = trace.spilled_bytes
@@ -238,15 +323,20 @@ class DiscoveryEngine:
 
             profile = self.profile()
             t0 = _time.perf_counter()
-            builder = TopDownBuilder(self.module)
-            builder.process_chunks(profile.trace.iter_chunks())
-            registry = builder.build()
+            with self.obs.tracer.span("phase.build_cus", "engine"):
+                builder = TopDownBuilder(self.module)
+                builder.process_chunks(profile.trace.iter_chunks())
+                registry = builder.build()
             self._cus = CUArtifact(
                 registry=registry,
                 line_counts=builder.line_counts,
                 total_instructions=sum(builder.line_counts.values()),
             )
-            self.timings["build_cus"] = _time.perf_counter() - t0
+            if self.obs.metrics is not None:
+                self.obs.metrics.gauge(
+                    "engine.cus", "computational units constructed"
+                ).set(len(registry.all_cus))
+            self._record_timing("build_cus", _time.perf_counter() - t0)
             self._detect = self._rank = None
             self._transform = self._validate = None
         return self._cus
@@ -260,9 +350,10 @@ class DiscoveryEngine:
         if self._detect is None or force:
             import time as _time
 
-            t0 = _time.perf_counter()
             profile = self.profile()
             cus = self.build_cus()
+            t0 = _time.perf_counter()
+            self.obs.tracer.begin("phase.detect", "engine")
             module = self.module
             registry = cus.registry
 
@@ -296,7 +387,15 @@ class DiscoveryEngine:
             self._detect = DetectArtifact(
                 loops=loops, functions=functions, loop_tasks=loop_tasks
             )
-            self.timings["detect"] = _time.perf_counter() - t0
+            self.obs.tracer.end()
+            if self.obs.metrics is not None:
+                m = self.obs.metrics
+                m.gauge("detect.loops", "loops classified").set(len(loops))
+                m.gauge(
+                    "detect.task_containers",
+                    "functions + loop bodies analyzed for tasks",
+                ).set(len(functions) + len(loop_tasks))
+            self._record_timing("detect", _time.perf_counter() - t0)
             self._rank = None
             self._transform = self._validate = None
         return self._detect
@@ -365,8 +464,13 @@ class DiscoveryEngine:
             import time as _time
 
             t0 = _time.perf_counter()
-            self._rank = self._run_rank(n)
-            self.timings["rank"] = _time.perf_counter() - t0
+            with self.obs.tracer.span("phase.rank", "engine", n_threads=n):
+                self._rank = self._run_rank(n)
+            if self.obs.metrics is not None:
+                self.obs.metrics.gauge(
+                    "rank.suggestions", "ranked parallelization suggestions"
+                ).set(len(self._rank.suggestions))
+            self._record_timing("rank", _time.perf_counter() - t0)
             self._transform = self._validate = None
         return self._rank
 
@@ -480,14 +584,22 @@ class DiscoveryEngine:
             profile = self.profile()
             ranked = self.rank()
             t0 = _time.perf_counter()
-            self._transform = build_transform_plan(
-                self.module,
-                ranked.suggestions,
-                profile.control,
-                n_workers=workers,
-                name=self.config.name,
-            )
-            self.timings["parallelize"] = _time.perf_counter() - t0
+            with self.obs.tracer.span(
+                "phase.parallelize", "engine", n_workers=workers
+            ):
+                self._transform = build_transform_plan(
+                    self.module,
+                    ranked.suggestions,
+                    profile.control,
+                    n_workers=workers,
+                    name=self.config.name,
+                )
+            if self.obs.metrics is not None:
+                self.obs.metrics.gauge(
+                    "parallelize.feasible",
+                    "suggestions transformed into runnable plans",
+                ).set(len(self._transform.feasible_entries))
+            self._record_timing("parallelize", _time.perf_counter() - t0)
             self._validate = None
         return self._transform
 
@@ -511,10 +623,12 @@ class DiscoveryEngine:
             ranked = self.rank()
             vm_kwargs = self.config.resolved_vm_kwargs()
             t0 = _time.perf_counter()
+            self.obs.tracer.begin("phase.validate", "engine")
             if self._seq_ref is None:
-                self._seq_ref = run_sequential_reference(
-                    self.module, entry=self.config.entry, **vm_kwargs
-                )
+                with self.obs.tracer.span("seq.reference", "vm"):
+                    self._seq_ref = run_sequential_reference(
+                        self.module, entry=self.config.entry, **vm_kwargs
+                    )
                 self.validation_runs += 1
             # per-iteration cost profiles of the DOALL regions, from the
             # cached trace (one scan for every region): the exec model
@@ -539,12 +653,26 @@ class DiscoveryEngine:
                 vm_kwargs=vm_kwargs,
                 seq=self._seq_ref,
                 iteration_costs=iteration_costs,
+                tracer=(
+                    self.obs.tracer if self.obs.tracer.enabled else None
+                ),
             )
             self.validation_runs += sum(1 for r in reports if r.feasible)
             self._validate = ValidationArtifact(
                 n_workers=workers, reports=reports
             )
-            self.timings["validate"] = _time.perf_counter() - t0
+            self.obs.tracer.end()
+            if self.obs.metrics is not None:
+                m = self.obs.metrics
+                for report in reports:
+                    sched = getattr(report, "scheduler", None) or {}
+                    for key in ("ticks", "steals", "tasks_forked"):
+                        if key in sched:
+                            m.counter(
+                                f"pvm.{key}",
+                                f"scheduler {key} across validation runs",
+                            ).inc(sched[key])
+            self._record_timing("validate", _time.perf_counter() - t0)
         return self._validate
 
     # ------------------------------------------------------------------
@@ -553,16 +681,35 @@ class DiscoveryEngine:
 
     def run(self, n_threads: Optional[int] = None) -> DiscoveryResult:
         """Run (or reuse) every phase and assemble a DiscoveryResult."""
-        profile = self.profile()
-        cus = self.build_cus()
-        detect = self.detect()
-        ranked = self.rank(n_threads)
-        validations = []
-        prediction_error = None
-        if self.config.validate:
-            artifact = self.validate()
-            validations = list(artifact.reports)
-            prediction_error = artifact.mean_abs_prediction_error
+        sampler = None
+        if self.obs.tracer.enabled:
+            from repro.obs import SamplingProfiler
+
+            sampler = SamplingProfiler(self.obs.tracer).start()
+        try:
+            profile = self.profile()
+            cus = self.build_cus()
+            detect = self.detect()
+            ranked = self.rank(n_threads)
+            validations = []
+            prediction_error = None
+            if self.config.validate:
+                artifact = self.validate()
+                validations = list(artifact.reports)
+                prediction_error = artifact.mean_abs_prediction_error
+        finally:
+            if sampler is not None:
+                sampler.stop()
+        selfprof: dict = {}
+        if self.obs.tracer.enabled:
+            from repro.obs import hotness
+
+            hot = hotness(self.obs.tracer)
+            selfprof = {
+                "phases": hot["phases"],
+                "hottest": [list(row) for row in hot["hottest"]],
+                "sampling": sampler.aggregates(),
+            }
         return DiscoveryResult(
             module=self.module,
             return_value=profile.return_value,
@@ -580,6 +727,12 @@ class DiscoveryEngine:
             vm=profile.vm,
             n_threads=ranked.n_threads,
             timings=dict(self.timings),
+            timing_detail={
+                phase: dict(detail)
+                for phase, detail in self.timing_detail.items()
+            },
+            metrics=self.obs.snapshot(),
+            selfprof=selfprof,
             profile_stats=dict(profile.stats),
             validations=validations,
             prediction_error=prediction_error,

@@ -1,0 +1,258 @@
+"""Typed metrics: counters, gauges, histograms behind one registry.
+
+Instrumentation sites register a metric once (cheap get-or-create by
+name) and update it with plain attribute arithmetic — no locks, no
+label cardinality, no background aggregation.  A
+:class:`MetricsRegistry` snapshot is a JSON-ready dict that round-trips
+(:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.restore`)
+and lands on :attr:`DiscoveryResult.metrics
+<repro.engine.artifacts.DiscoveryResult>`; ``repro stats`` renders it.
+
+Metric kinds:
+
+* :class:`Counter` — monotonically increasing total (events shipped,
+  steals, dedup hits).
+* :class:`Gauge` — last-set value plus the maximum ever seen (slab
+  occupancy, frontier size, peak RSS).
+* :class:`Histogram` — count/sum/min/max plus power-of-two bucket
+  counts, enough for latency-ish distributions (batch sizes, burst
+  steps) without storing samples.
+
+Worker processes build their own registry and ship a snapshot home;
+:meth:`MetricsRegistry.merge` folds it in under a name prefix
+(``detect.shard0.rows_processed``), keeping per-worker series apart.
+
+Naming convention: dotted ``subsystem.metric`` names
+(``engine.vm_runs``, ``detect.slab_occupancy``, ``pvm.steals``) — see
+docs/OBSERVABILITY.md for the full catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: one bucket per power of two: bucket i counts values v with
+#: 2**(i-1) < v <= 2**i (bucket 0 counts v <= 1)
+N_BUCKETS = 64
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"kind": "counter", "value": self.value, "help": self.help}
+
+
+class Gauge:
+    """A point-in-time value; remembers the maximum it ever held."""
+
+    __slots__ = ("name", "help", "value", "max")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+        self.max = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "gauge", "value": self.value, "max": self.max,
+            "help": self.help,
+        }
+
+
+class Histogram:
+    """count/sum/min/max + power-of-two buckets, no retained samples."""
+
+    __slots__ = ("name", "help", "count", "sum", "min", "max", "buckets")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: sparse {bucket_index: count}
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = max(0, int(value) - 1).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+            "help": self.help,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric in one process."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # -- snapshot / restore / merge ------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{name: metric dict}`` in sorted name order."""
+        return {
+            name: self._metrics[name].to_dict()
+            for name in sorted(self._metrics)
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a snapshot (the JSON round-trip)."""
+        registry = cls()
+        for name, data in snapshot.items():
+            kind = _KINDS[data["kind"]]
+            metric = registry._get(kind, name, data.get("help", ""))
+            if kind is Counter:
+                metric.value = data["value"]
+            elif kind is Gauge:
+                metric.value = data["value"]
+                metric.max = data.get("max", data["value"])
+            else:
+                metric.count = data["count"]
+                metric.sum = data["sum"]
+                metric.min = data.get("min")
+                metric.max = data.get("max")
+                metric.buckets = {
+                    int(b): n for b, n in data.get("buckets", {}).items()
+                }
+        return registry
+
+    def merge(self, snapshot: dict, prefix: str = "") -> None:
+        """Fold a shipped snapshot in, optionally under a name prefix.
+
+        Counters add, gauges keep the incoming value and the max of
+        both maxima, histograms pool their moments and buckets — so
+        merging N worker snapshots under distinct prefixes preserves
+        each series while ``prefix=""`` accumulates same-named metrics.
+        """
+        for name, data in snapshot.items():
+            full = f"{prefix}{name}"
+            kind = _KINDS[data["kind"]]
+            metric = self._get(kind, full, data.get("help", ""))
+            if kind is Counter:
+                metric.value += data["value"]
+            elif kind is Gauge:
+                metric.set(data["value"])
+                if data.get("max", 0) > metric.max:
+                    metric.max = data["max"]
+            else:
+                metric.count += data["count"]
+                metric.sum += data["sum"]
+                for bound in ("min",):
+                    v = data.get(bound)
+                    if v is not None and (
+                        metric.min is None or v < metric.min
+                    ):
+                        metric.min = v
+                v = data.get("max")
+                if v is not None and (metric.max is None or v > metric.max):
+                    metric.max = v
+                for b, n in data.get("buckets", {}).items():
+                    b = int(b)
+                    metric.buckets[b] = metric.buckets.get(b, 0) + n
+
+
+def format_metrics_table(snapshot: dict) -> str:
+    """Render a snapshot as the aligned table ``repro stats`` prints."""
+    if not snapshot:
+        return "(no metrics recorded — run with --obs metrics or trace)"
+    header = f"{'metric':<44} {'kind':<9} {'value':>14} {'detail'}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data["kind"]
+        if kind == "counter":
+            value, detail = data["value"], ""
+        elif kind == "gauge":
+            value, detail = data["value"], f"max={data.get('max')}"
+        else:
+            value = data["count"]
+            detail = (
+                f"sum={data['sum']} mean={data.get('mean', 0.0):.1f} "
+                f"min={data.get('min')} max={data.get('max')}"
+            )
+        if isinstance(value, float):
+            value = f"{value:.3f}"
+        lines.append(f"{name:<44} {kind:<9} {value!s:>14} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Self-profiling: a sampling wall-clock profiler over the tracer.
+
+Two complementary views of where the pipeline's own time goes:
+
+* :func:`hotness` — the **deterministic** feed: folds the tracer's
+  finished spans (:meth:`~repro.obs.trace.Tracer.flame`) into per-phase
+  flame aggregates with inclusive/exclusive nanoseconds.  This is the
+  hotness signal the whole-region codegen item consumes: the tool's own
+  profiler reporting which of the tool's own regions are hot
+  (dogfooding §2's premise).
+* :class:`SamplingProfiler` — the **statistical** view: a daemon thread
+  wakes every ``interval`` seconds and samples the innermost open span
+  path on every tracer lane.  Sampling sees *in-progress* work that has
+  not completed yet (a wedged phase, a stuck worker), which the
+  span-fold cannot, at a cost independent of span volume.  Tests drive
+  :meth:`SamplingProfiler.sample_once` directly for determinism.
+
+Both emit the same shape — ``{path: weight}`` flame rows plus a
+per-top-level-phase rollup — so consumers need one renderer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.obs.trace import Tracer
+
+#: default wall-clock sampling period (seconds)
+DEFAULT_INTERVAL = 0.005
+
+
+def hotness(tracer: Tracer) -> dict:
+    """Deterministic per-phase flame aggregates from finished spans.
+
+    Returns ``{"total_ns", "phases": {phase: ns}, "flame": {path:
+    {"count", "total_ns", "self_ns"}}, "hottest": [(path, self_ns),
+    ...]}`` where *phase* is the first component of each span path.
+    ``phases`` sums **self** time, so nested spans never double-count
+    and the phase totals partition the instrumented wall clock.
+    """
+    flame = tracer.flame()
+    phases: dict[str, int] = {}
+    for path, entry in flame.items():
+        phase = path.split(";", 1)[0]
+        phases[phase] = phases.get(phase, 0) + entry["self_ns"]
+    hottest = sorted(
+        ((path, entry["self_ns"]) for path, entry in flame.items()),
+        key=lambda item: -item[1],
+    )
+    return {
+        "total_ns": sum(phases.values()),
+        "phases": dict(sorted(phases.items())),
+        "flame": flame,
+        "hottest": hottest[:16],
+    }
+
+
+class SamplingProfiler:
+    """Samples the tracer's open-span stacks on a wall-clock timer."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        self.tracer = tracer
+        self.interval = interval
+        self.samples = 0
+        #: {"lane;path": hits}
+        self.hits: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def sample_once(self) -> None:
+        """Take one sample of every lane's innermost open path."""
+        self.samples += 1
+        for lane, path in self.tracer.open_paths().items():
+            key = f"{lane};{path}"
+            self.hits[key] = self.hits.get(key, 0) + 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-selfprof", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def aggregates(self) -> dict:
+        """JSON-ready sampling summary: per-phase shares + raw hits.
+
+        The phase key strips the lane prefix and keeps the first path
+        component, mirroring :func:`hotness`'s rollup.
+        """
+        phases: dict[str, int] = {}
+        for key, n in self.hits.items():
+            path = key.split(";", 1)[1] if ";" in key else key
+            phase = path.split(";", 1)[0]
+            phases[phase] = phases.get(phase, 0) + n
+        total = sum(phases.values())
+        return {
+            "samples": self.samples,
+            "interval_seconds": self.interval,
+            "phases": dict(sorted(phases.items())),
+            "shares": {
+                phase: n / total for phase, n in sorted(phases.items())
+            } if total else {},
+            "hits": dict(sorted(self.hits.items())),
+        }

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import random as _random
 from collections import deque
+from time import perf_counter_ns as _perf_counter_ns
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -372,6 +373,11 @@ class ParallelVM(VM):
 
     def run(self, entry: str = "main", args: Optional[list] = None):
         """Run to completion under the worker pool; returns main's value."""
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.begin("pvm.run", "pvm", entry=entry,
+                         n_workers=self.n_workers)
         main_thread = self._spawn_thread(entry, args or [])
         workers = self._workers
         workers[0].current = main_thread
@@ -408,7 +414,22 @@ class ParallelVM(VM):
                 ran_any = True
                 self._active_worker = worker
                 before = self.total_steps
-                self._run_thread(current, quantum)
+                if traced:
+                    t0 = _perf_counter_ns()
+                    self._run_thread(current, quantum)
+                    tracer.complete(
+                        "pvm.burst",
+                        "pvm",
+                        t0,
+                        _perf_counter_ns() - t0,
+                        lane=f"pvm.w{worker.wid}",
+                        args={
+                            "tid": current.tid,
+                            "steps": self.total_steps - before,
+                        },
+                    )
+                else:
+                    self._run_thread(current, quantum)
                 burst = self.total_steps - before
                 self._active_worker = None
                 stats.worker_units[worker.wid] += burst
@@ -438,4 +459,6 @@ class ParallelVM(VM):
                     f"parallel scheduler stalled: threads {blocked} blocked"
                 )
         self._flush()
+        if traced:
+            tracer.end()
         return main_thread.return_value

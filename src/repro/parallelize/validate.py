@@ -252,6 +252,7 @@ def validate_entry(
     quantum: int = 256,
     vm_kwargs: Optional[dict] = None,
     iteration_costs: Optional[list] = None,
+    tracer=None,
 ) -> ValidationReport:
     """Execute and validate one plan entry against the sequential run.
 
@@ -285,7 +286,8 @@ def validate_entry(
         return report
 
     vm = ParallelVM(
-        module, plan, n_workers=workers, quantum=quantum, **vm_kwargs
+        module, plan, n_workers=workers, quantum=quantum,
+        tracer=tracer, **vm_kwargs
     )
     t0 = time.perf_counter()
     try:
@@ -349,6 +351,7 @@ def validate_plan(
     vm_kwargs: Optional[dict] = None,
     seq: Optional[SequentialReference] = None,
     iteration_costs: Optional[dict] = None,
+    tracer=None,
 ) -> list[ValidationReport]:
     """Validate every plan entry (one parallel run per feasible entry).
 
@@ -383,6 +386,7 @@ def validate_plan(
                 quantum=quantum,
                 vm_kwargs=base_kwargs,
                 iteration_costs=costs_by_region.get(plan_entry.region_id),
+                tracer=tracer,
             )
         )
     return reports

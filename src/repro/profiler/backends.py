@@ -141,6 +141,9 @@ class SerialBackend:
         self.skip_loops = skip_loops
         self.detect_seconds = 0.0
         self.detect_events = 0
+        self._tracer = None
+        self._batches = None
+        self._batch_events = None
 
     @property
     def sig_decoder(self):
@@ -150,11 +153,38 @@ class SerialBackend:
     def sig_decoder(self, fn) -> None:
         self.sink.sig_decoder = fn
 
+    def attach_obs(self, tracer, metrics) -> None:
+        """Adopt the engine's observability bundle (obs on only).
+
+        A sharded profiler inherits both so the detector can span slab
+        shipments, absorb worker span buffers, and merge worker metrics.
+        """
+        if tracer is not None and tracer.enabled:
+            self._tracer = tracer
+        if metrics is not None:
+            self._batches = metrics.counter(
+                "detect.batches", "event chunks fed to the detection core"
+            )
+            self._batch_events = metrics.histogram(
+                "detect.batch_events", "events per detection chunk"
+            )
+        if isinstance(self.profiler, ShardedDetector):
+            self.profiler.attach_obs(tracer, metrics)
+
     def __call__(self, chunk) -> None:
         t0 = time.perf_counter()
-        self.sink(chunk)
+        if self._tracer is not None:
+            with self._tracer.span(
+                "detect.batch", "detect", n_events=len(chunk)
+            ):
+                self.sink(chunk)
+        else:
+            self.sink(chunk)
         self.detect_seconds += time.perf_counter() - t0
         self.detect_events += len(chunk)
+        if self._batches is not None:
+            self._batches.inc()
+            self._batch_events.observe(len(chunk))
 
     def finish(self) -> BackendResult:
         profiler = self.profiler
@@ -246,6 +276,9 @@ class ParallelBackend:
         self.detect_seconds = 0.0
         self.detect_events = 0
         self._result: Optional[BackendResult] = None
+        self._tracer = None
+        self._batches = None
+        self._batch_events = None
 
     @property
     def sig_decoder(self):
@@ -255,11 +288,31 @@ class ParallelBackend:
     def sig_decoder(self, fn) -> None:
         self.profiler.sig_decoder = fn
 
+    def attach_obs(self, tracer, metrics) -> None:
+        if tracer is not None and tracer.enabled:
+            self._tracer = tracer
+        if metrics is not None:
+            self._batches = metrics.counter(
+                "detect.batches", "event chunks fed to the detection core"
+            )
+            self._batch_events = metrics.histogram(
+                "detect.batch_events", "events per detection chunk"
+            )
+
     def __call__(self, chunk) -> None:
         t0 = time.perf_counter()
-        self.profiler.process_chunk(chunk)
+        if self._tracer is not None:
+            with self._tracer.span(
+                "detect.batch", "detect", n_events=len(chunk)
+            ):
+                self.profiler.process_chunk(chunk)
+        else:
+            self.profiler.process_chunk(chunk)
         self.detect_seconds += time.perf_counter() - t0
         self.detect_events += len(chunk)
+        if self._batches is not None:
+            self._batches.inc()
+            self._batch_events.observe(len(chunk))
 
     def finish(self) -> BackendResult:
         if self._result is None:

@@ -112,7 +112,28 @@ _MIX_C = np.uint64(0x94D049BB133111EB)
 
 
 class ShardedDetectionError(RuntimeError):
-    """A worker process failed; carries the remote traceback."""
+    """A worker process failed; carries the remote traceback.
+
+    When the run had observability on, the failing worker ships what it
+    had alongside the traceback: ``worker_metrics`` is its
+    metrics-registry snapshot and ``worker_spans`` its span-lane bundle
+    (:meth:`repro.obs.trace.Tracer.ship` format) — so a crashed shard
+    still reports what it was doing.  Both stay ``None`` when obs was
+    off or the failure predates instrumentation.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: Optional[int] = None,
+        worker_metrics: Optional[dict] = None,
+        worker_spans: Optional[list] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.worker_metrics = worker_metrics
+        self.worker_spans = worker_spans
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +240,16 @@ def _frontier_from_arrays(arrays: dict) -> ShadowFrontier:
 # ---------------------------------------------------------------------------
 
 
+def _worker_obs_payload(tracer, registry) -> dict:
+    """The observability fields a worker ships home (possibly empty)."""
+    payload: dict = {}
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if tracer is not None and tracer.enabled:
+        payload["spans"] = tracer.ship()
+    return payload
+
+
 def _shard_worker(
     shard: int,
     n_shards: int,
@@ -228,6 +259,7 @@ def _shard_worker(
     result_q,
     signature_slots: Optional[int],
     lifetime_analysis: bool,
+    obs_mode: str = "off",
 ) -> None:
     """Worker main: consume slab/segment messages, detect one shard.
 
@@ -235,9 +267,23 @@ def _shard_worker(
     it; the interned tables arrive as incremental suffixes and grow
     local mirrors — ``sig_table[sid]`` plays the parent's unpicklable
     ``vm.loop_signature`` closure.
+
+    With ``obs_mode`` on, the worker keeps its own tracer / metrics
+    registry and ships them in the final ``done`` payload (or alongside
+    the traceback on failure) — one span per consumed message, counters
+    for rows seen/kept, and the peak RSS this process reached.
     """
     slabs = []
+    tracer = registry = None
     try:
+        if obs_mode != "off":
+            from repro.obs import MetricsRegistry, Tracer
+
+            registry = MetricsRegistry()
+            tracer = Tracer(
+                enabled=(obs_mode == "trace"),
+                process_label=f"detect.shard{shard}",
+            )
         slabs = [
             shared_memory.SharedMemory(name=name) for name in slab_names
         ]
@@ -258,6 +304,8 @@ def _shard_worker(
             kind = msg[0]
             if kind == "finish":
                 break
+            if tracer is not None and tracer.enabled:
+                tracer.begin("shard.batch", "detect")
             if kind == "rows":
                 _, idx, n, names_sfx, sigs_sfx = msg
                 rows = views[idx][:n]
@@ -265,9 +313,11 @@ def _shard_worker(
                 # the gather above copied out of the slab: ack first so
                 # the parent can refill it while this shard detects
                 result_q.put(("ack", idx, shard))
+                seen = n
             else:  # "npy": mmap a raw spill segment, zero staging copy
                 _, path, names_sfx, sigs_sfx = msg
                 seg = np.load(path, mmap_mode="r")
+                seen = seg.shape[0]
                 mine = seg[shard_mask(seg, n_shards, shard)]
                 del seg
             if names_sfx:
@@ -278,20 +328,59 @@ def _shard_worker(
                 sig_table.extend(sigs_sfx)
             if mine.shape[0]:
                 profiler.process_chunk(EventChunk(mine, strings))
+            if registry is not None:
+                registry.counter(
+                    "batches", "messages this shard consumed"
+                ).inc()
+                registry.counter(
+                    "rows_seen", "rows offered to this shard"
+                ).inc(int(seen))
+                registry.counter(
+                    "rows_processed", "rows this shard detected on"
+                ).inc(int(mine.shape[0]))
+            if tracer is not None and tracer.enabled:
+                tracer.end()
+        if tracer is not None and tracer.enabled:
+            tracer.begin("shard.finalize", "detect")
         profiler.flush()
-        result_q.put((
-            "done",
-            shard,
-            {
-                "store": profiler.store,
-                "frontier": _frontier_arrays(profiler.frontier),
-                "deps_built": profiler.stats.deps_built,
-                "collisions": profiler.collisions,
-                "memory_bytes": profiler.memory_bytes(),
-            },
-        ))
+        if tracer is not None and tracer.enabled:
+            tracer.end()
+        if registry is not None:
+            registry.counter(
+                "deps_built", "dependences built by this shard"
+            ).inc(profiler.stats.deps_built)
+            registry.gauge(
+                "frontier_keys", "live shadow-frontier addresses"
+            ).set(len(profiler.frontier))
+            registry.gauge(
+                "memory_bytes", "detector-resident bytes"
+            ).set(profiler.memory_bytes())
+            try:
+                import resource
+
+                registry.gauge(
+                    "peak_rss_kb", "peak resident set of this worker"
+                ).set(
+                    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                )
+            except ImportError:  # pragma: no cover - non-POSIX
+                pass
+        payload = {
+            "store": profiler.store,
+            "frontier": _frontier_arrays(profiler.frontier),
+            "deps_built": profiler.stats.deps_built,
+            "collisions": profiler.collisions,
+            "memory_bytes": profiler.memory_bytes(),
+        }
+        payload.update(_worker_obs_payload(tracer, registry))
+        result_q.put(("done", shard, payload))
     except BaseException:  # pragma: no cover - exercised via error test
-        result_q.put(("error", shard, traceback.format_exc()))
+        result_q.put((
+            "error",
+            shard,
+            traceback.format_exc(),
+            _worker_obs_payload(tracer, registry),
+        ))
     finally:
         for slab in slabs:
             slab.close()
@@ -541,6 +630,24 @@ class ShardedDetector:
         self._free_slabs: list[int] = []
         self._pending: list[int] = []
         self._finalized = False
+        #: engine observability (attach_obs); None = obs off
+        self._tracer = None
+        self._metrics = None
+
+    def attach_obs(self, tracer, metrics) -> None:
+        """Adopt the engine's tracer/metrics; must precede first dispatch.
+
+        The worker obs mode is derived from what is attached, so calls
+        after the pool started would silently not reach the workers —
+        hence the guard.
+        """
+        if self._procs is not None:
+            raise RuntimeError(
+                "attach_obs must be called before workers start"
+            )
+        self._tracer = tracer if tracer is not None and tracer.enabled \
+            else None
+        self._metrics = metrics
 
     # -- decoder / tables ----------------------------------------------
 
@@ -616,6 +723,11 @@ class ShardedDetector:
         self._result_q = ctx.Queue()
         self._task_qs = [ctx.SimpleQueue() for _ in range(self.n_shards)]
         slab_names = [s.name for s in self._slabs]
+        obs_mode = "off"
+        if self._tracer is not None:
+            obs_mode = "trace"
+        elif self._metrics is not None:
+            obs_mode = "metrics"
         self._procs = []
         for shard in range(self.n_shards):
             proc = ctx.Process(
@@ -624,6 +736,7 @@ class ShardedDetector:
                     shard, self.n_shards, slab_names, self.slab_rows,
                     self._task_qs[shard], self._result_q,
                     self.worker_slots, self.lifetime_analysis,
+                    obs_mode,
                 ),
                 daemon=True,
             )
@@ -655,12 +768,27 @@ class ShardedDetector:
                     continue
                 return msg
             if msg[0] == "error":
+                obs = msg[3] if len(msg) > 3 else {}
+                spans = obs.get("spans")
+                if spans and self._tracer is not None:
+                    # keep what the dying worker recorded on the parent
+                    # timeline: a later export shows its final activity
+                    self._tracer.absorb(spans)
                 raise ShardedDetectionError(
-                    f"shard worker {msg[1]} failed:\n{msg[2]}"
+                    f"shard worker {msg[1]} failed:\n{msg[2]}",
+                    shard=msg[1],
+                    worker_metrics=obs.get("metrics"),
+                    worker_spans=spans,
                 )
             return msg
 
     def _acquire_slab(self) -> int:
+        if not self._free_slabs and self._tracer is not None:
+            with self._tracer.span(
+                "slab.wait", "detect", free=len(self._free_slabs)
+            ):
+                while not self._free_slabs:
+                    self._pump_result(block=True)
         while not self._free_slabs:
             self._pump_result(block=True)
         return self._free_slabs.pop()
@@ -732,6 +860,18 @@ class ShardedDetector:
         self._bookkeep(rows)
         names_sfx, sigs_sfx = self._suffixes(rows)
         self.shipped_events += rows.shape[0]
+        if self._tracer is not None:
+            self._tracer.complete(
+                "segment.ship", "detect", self._tracer.now(), 0,
+                args={"path": path, "rows": int(rows.shape[0])},
+            )
+        if self._metrics is not None:
+            self._metrics.counter(
+                "detect.segments_shipped", "spill segments broadcast by path"
+            ).inc()
+            self._metrics.counter(
+                "detect.shipped_events", "event rows shipped to workers"
+            ).inc(int(rows.shape[0]))
         for task_q in self._task_qs:
             task_q.put(("npy", path, names_sfx, sigs_sfx))
 
@@ -758,16 +898,32 @@ class ShardedDetector:
                 return
         names_sfx, sigs_sfx = self._suffixes(rows)
         self.shipped_events += rows.shape[0]
+        if self._metrics is not None:
+            self._metrics.counter(
+                "detect.shipped_events", "event rows shipped to workers"
+            ).inc(int(rows.shape[0]))
         for start in range(0, rows.shape[0], self.slab_rows):
             piece = rows[start: start + self.slab_rows]
             idx = self._acquire_slab()
             n = piece.shape[0]
+            if self._tracer is not None:
+                self._tracer.begin("slab.ship", "detect", rows=n, slab=idx)
             self._views[idx][:n] = piece
             self._pending[idx] = self.n_shards
             msg = ("rows", idx, n, names_sfx, sigs_sfx)
             names_sfx = sigs_sfx = ()  # suffixes ship once, in order
             for task_q in self._task_qs:
                 task_q.put(msg)
+            if self._tracer is not None:
+                self._tracer.end()
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "detect.slabs_shipped", "slab messages published"
+                ).inc()
+                self._metrics.gauge(
+                    "detect.slab_occupancy",
+                    "free slabs after each acquire (0 = pool saturated)",
+                ).set(len(self._free_slabs))
 
     # -- completion ----------------------------------------------------
 
@@ -783,13 +939,15 @@ class ShardedDetector:
             return self.store
         for task_q in self._task_qs:
             task_q.put(("finish",))
+        if self._tracer is not None:
+            self._tracer.begin("detect.merge", "detect")
         frontier_parts: list[ShadowFrontier] = []
         done = 0
         while done < self.n_shards:
             msg = self._pump_result(block=True)
             if msg is None or msg[0] != "done":
                 continue
-            payload = msg[2]
+            shard, payload = msg[1], msg[2]
             # streaming merge: each shard folds in as it reports
             self.store.merge_from(payload["store"])
             frontier_parts.append(
@@ -798,8 +956,23 @@ class ShardedDetector:
             self.stats.deps_built += payload["deps_built"]
             self.collisions += payload["collisions"]
             self.worker_memory_bytes += payload["memory_bytes"]
+            if self._tracer is not None and "spans" in payload:
+                self._tracer.absorb(payload["spans"])
+            if self._metrics is not None and "metrics" in payload:
+                self._metrics.merge(
+                    payload["metrics"], prefix=f"detect.shard{shard}."
+                )
             done += 1
         self.frontier = merge_frontiers(frontier_parts)
+        if self._tracer is not None:
+            self._tracer.end()
+        if self._metrics is not None and self.sampler is not None:
+            self._metrics.counter(
+                "detect.sampled_kept", "rows kept by the read sampler"
+            ).inc(self.sampler.kept_events)
+            self._metrics.counter(
+                "detect.sampled_total", "rows offered to the read sampler"
+            ).inc(self.sampler.total_events)
         for proc in self._procs:
             proc.join(timeout=30)
         self._result_q.close()

@@ -164,6 +164,7 @@ class VM:
         instrument: bool = True,
         chunk_format: str = "tuple",
         dispatch: str = "compiled",
+        tracer=None,
     ) -> None:
         if chunk_format not in ("tuple", "columnar"):
             raise ValueError(f"unknown chunk_format {chunk_format!r}")
@@ -171,6 +172,9 @@ class VM:
             raise ValueError(f"unknown dispatch {dispatch!r}")
         self.module = module
         self.sink = sink
+        #: optional repro.obs Tracer; the execution hot loops never touch
+        #: it — only coarse sites (ParallelVM worker bursts) record spans
+        self.tracer = tracer
         self.chunk_size = chunk_size
         self.chunk_format = chunk_format
         self.quantum = quantum
