@@ -1,0 +1,48 @@
+"""Resilience bench: the fault-recovery and store-identity gates.
+
+Seeds ``benchmarks/out/BENCH_faults.json`` — the artifact
+``repro bench --suite faults`` also produces.  Drives the supervised
+sharded detection core through the deterministic fault matrix (worker
+kills, hangs, dropped slab acks, corrupted done payloads at the first,
+middle and last task batch, plus seeded scattered mixes and one
+unrecoverable schedule) and gates the resilience contract: every
+eventually-successful schedule recovers without raising, every merged
+store is bit-identical to the serial vectorized reference, and the
+unrecoverable schedule degrades to in-process detection instead of
+failing (docs/RESILIENCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.engine.bench import format_faults_table, run_faults_bench
+
+
+def test_fault_recovery(benchmark):
+    result = benchmark.pedantic(
+        run_faults_bench,
+        rounds=1,
+        iterations=1,
+    )
+    emit("BENCH_faults", format_faults_table(result))
+    (OUT_DIR / "BENCH_faults.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    # recovery must be invisible in the output (bit-identical stores)
+    # and the last ladder rung must complete the run, not abandon it
+    assert result["all_recovered"]
+    assert result["all_stores_identical"]
+    assert result["degraded_runs"] == 1
+
+
+if __name__ == "__main__":
+    result = run_faults_bench()
+    print(format_faults_table(result))
+    (OUT_DIR / "BENCH_faults.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    (OUT_DIR / "BENCH_faults.txt").write_text(
+        format_faults_table(result) + "\n"
+    )

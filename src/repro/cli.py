@@ -145,6 +145,35 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         help="with --obs trace: write the Chrome trace-event JSON here "
              "(default: <name>.trace.json; load it in Perfetto)",
     )
+    parser.add_argument(
+        "--resilience",
+        metavar="JSON|@FILE",
+        default=None,
+        help="sharded-core supervision knobs as RetryPolicy JSON "
+             "(inline, or @file); empty = defaults; "
+             "see docs/RESILIENCE.md",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="JSON|@FILE",
+        default=None,
+        help="test-only deterministic fault schedule as FaultPlan JSON "
+             "(inline, or @file); see docs/RESILIENCE.md",
+    )
+
+
+def _json_opt(value):
+    """Parse an inline-JSON / ``@file`` CLI option (None passes through)."""
+    if value is None:
+        return None
+    text = value
+    if value.startswith("@"):
+        with open(value[1:], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid JSON option {value!r}: {exc}")
 
 
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
@@ -184,6 +213,8 @@ def _config_from_args(args, source: str, name: str,
         spill_trace=getattr(args, "spill_trace", False),
         max_resident_chunks=getattr(args, "max_resident_chunks", 64),
         obs=getattr(args, "obs", "off"),
+        resilience=_json_opt(getattr(args, "resilience", None)) or {},
+        fault_plan=_json_opt(getattr(args, "faults", None)),
     )
 
 
@@ -464,6 +495,8 @@ def cmd_bench(args) -> int:
         return _bench_detect(args)
     if args.suite == "obs":
         return _bench_obs(args)
+    if args.suite == "faults":
+        return _bench_faults(args)
     from repro.engine.bench import format_pipeline_table, run_pipeline_bench
 
     result = run_pipeline_bench(
@@ -690,6 +723,54 @@ def _bench_obs(args) -> int:
     return 0
 
 
+def _bench_faults(args) -> int:
+    """``repro bench --suite faults``: the recovery-identity gate.
+
+    Every eventually-successful fault schedule must complete without
+    raising with a store bit-identical to the serial vectorized
+    reference, and the unrecoverable schedule must degrade (not fail) —
+    all three are hard gates, quick mode or not: a resilience layer
+    that sometimes loses dependences has no acceptable overhead.
+    """
+    from repro.engine.bench import format_faults_table, run_faults_bench
+
+    result = run_faults_bench(
+        scale=args.scale,
+        workers=args.detect_workers,
+        quick=args.quick,
+        seed=args.seed if getattr(args, "seed", None) is not None else 0,
+        chunk_size=args.chunk_size,
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=1))
+    else:
+        print(format_faults_table(result))
+    with open(args.save, "w") as handle:
+        json.dump(result, handle, indent=1)
+    print(f"; saved faults bench -> {args.save}", file=sys.stderr)
+    if not result["all_recovered"]:
+        print(
+            "; FAIL: a fault schedule escaped the supervisor and raised",
+            file=sys.stderr,
+        )
+        return 1
+    if not result["all_stores_identical"]:
+        print(
+            "; FAIL: a recovered store differs from the serial "
+            "vectorized reference",
+            file=sys.stderr,
+        )
+        return 1
+    if result["degraded_runs"] != 1:
+        print(
+            f"; FAIL: expected exactly the unrecoverable case to "
+            f"degrade, saw {result['degraded_runs']} degraded runs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.engine import DiscoveryEngine, DiscoveryResult
 
@@ -752,7 +833,12 @@ def cmd_batch(args) -> int:
         job_for_workload(name, scale=args.scale, **overrides)
         for name in names
     ]
-    rows = run_batch(jobs, jobs_parallel=args.jobs)
+    rows = run_batch(
+        jobs,
+        jobs_parallel=args.jobs,
+        resume_dir=args.resume,
+        job_timeout=args.job_timeout,
+    )
     if args.format == "json":
         print(json.dumps(rows, indent=1))
     else:
@@ -868,12 +954,18 @@ def main(argv=None) -> int:
     )
     p.add_argument("workloads", nargs="*",
                    help="registry workloads (default: the suite's trio)")
-    p.add_argument("--suite", choices=("pipeline", "vm", "detect", "obs"),
+    p.add_argument("--suite",
+                   choices=("pipeline", "vm", "detect", "obs", "faults"),
                    default="pipeline",
                    help="pipeline: tuple vs columnar chunks; "
                         "vm: switch vs compiled dispatch; "
                         "detect: loop vs vectorized detection cores; "
-                        "obs: observability overhead (disabled-cost gate)")
+                        "obs: observability overhead (disabled-cost gate); "
+                        "faults: deterministic fault matrix against the "
+                        "supervised sharded core (recovery + store "
+                        "identity gates)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="faults suite: seed of the scattered schedules")
     p.add_argument("--scale", type=int, default=None,
                    help="workload scale (default: 1; detect suite: 2 — "
                         "detection throughput is the scaling story)")
@@ -941,6 +1033,14 @@ def main(argv=None) -> int:
     p.add_argument("--jobs", type=int, default=None,
                    help="process-pool width (1 = in-process)")
     p.add_argument("--seed", type=int, default=12345)
+    p.add_argument("--resume", metavar="DIR", default=None,
+                   help="checkpoint directory: completed jobs are "
+                        "skipped, crashed ones re-enter at their first "
+                        "missing phase (docs/RESILIENCE.md)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job wall-clock cap (each job then runs in "
+                        "its own killable process)")
     _add_output_options(p)
     p.set_defaults(func=cmd_batch)
 

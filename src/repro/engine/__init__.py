@@ -29,12 +29,14 @@ from repro.engine.artifacts import (
     save_artifact,
 )
 from repro.engine.batch import (
+    config_for_job,
     format_batch_table,
     job_for_source,
     job_for_workload,
     run_batch,
     run_job,
 )
+from repro.engine.checkpoint import JobCheckpoint, job_key
 from repro.engine.config import DiscoveryConfig
 from repro.engine.core import DiscoveryEngine
 
@@ -46,12 +48,15 @@ __all__ = [
     "DiscoveryEngine",
     "DiscoveryResult",
     "FunctionTaskAnalysis",
+    "JobCheckpoint",
     "ProfileArtifact",
     "RankArtifact",
     "ValidationArtifact",
+    "config_for_job",
     "format_batch_table",
     "job_for_source",
     "job_for_workload",
+    "job_key",
     "load_artifact",
     "run_batch",
     "run_job",

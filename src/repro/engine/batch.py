@@ -6,10 +6,23 @@ a :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker runs a full
 :class:`~repro.engine.core.DiscoveryEngine` pipeline and returns a compact
 JSON-ready summary row, so a fleet of programs can be analysed in one
 command and the rows aggregated without holding every trace in memory.
+
+With ``resume_dir`` the batch becomes a *checkpointing queue* (see
+:mod:`repro.engine.checkpoint` and docs/RESILIENCE.md): every completed
+phase persists to a content-addressed directory, already-finished jobs
+are skipped outright, and a crashed job re-enters at its first missing
+phase on the next run.  ``job_timeout`` adds a per-job wall-clock cap
+(each job then runs in its own process), and jobs that keep failing
+land on a quarantine list instead of burning the whole batch's budget
+forever.
 """
 
 from __future__ import annotations
 
+import functools
+import json
+import multiprocessing
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -17,6 +30,14 @@ from typing import Iterable, Optional
 
 from repro.engine.config import DiscoveryConfig
 from repro.engine.core import DiscoveryEngine
+
+#: engine timing keys -> checkpoint phase names (tier-1 phases only)
+_PHASE_TIMING_KEYS = (
+    ("profile", "profile"),
+    ("build_cus", "cus"),
+    ("detect", "detect"),
+    ("rank", "rank"),
+)
 
 
 def job_for_workload(
@@ -39,35 +60,79 @@ def job_for_source(
     }
 
 
-def run_job(job: dict) -> dict:
-    """Run one batch job to completion; never raises (errors become rows)."""
+def config_for_job(job: dict) -> DiscoveryConfig:
+    """Materialize a job dict into the DiscoveryConfig it will run."""
+    if "workload" in job:
+        from repro.workloads import get_workload
+
+        workload = get_workload(job["workload"])
+        return DiscoveryConfig(
+            source=workload.source(job.get("scale", 1)),
+            name=job["workload"],
+            entry=workload.entry,
+            frontend=workload.frontend,
+            **job.get("overrides", {}),
+        )
+    return DiscoveryConfig(
+        source=job["source"],
+        name=job.get("name", "<source>"),
+        frontend=job.get("frontend", "minic"),
+        **job.get("overrides", {}),
+    )
+
+
+def run_job(job: dict, *, resume_dir: Optional[str] = None) -> dict:
+    """Run one batch job to completion; never raises (errors become rows).
+
+    With ``resume_dir``, the job checkpoints each completed phase and a
+    re-run skips finished work: a completed job returns its saved row
+    with ``resumed=True`` and ``phases_run == []``; a partially
+    completed one restores the persisted phase prefix and re-enters at
+    the first missing phase.
+    """
     t0 = time.perf_counter()
     name = job.get("workload") or job.get("name", "<source>")
     row = {"name": name, "ok": False}
+    checkpoint = None
+    engine = None
+    restored: list = []
     try:
-        if "workload" in job:
-            from repro.workloads import get_workload
+        config = config_for_job(job)
+        if resume_dir is not None:
+            from repro.engine.checkpoint import JobCheckpoint
 
-            workload = get_workload(job["workload"])
-            config = DiscoveryConfig(
-                source=workload.source(job.get("scale", 1)),
-                name=job["workload"],
-                entry=workload.entry,
-                frontend=workload.frontend,
-                **job.get("overrides", {}),
-            )
-        else:
-            config = DiscoveryConfig(
-                source=job["source"],
-                name=name,
-                frontend=job.get("frontend", "minic"),
-                **job.get("overrides", {}),
-            )
+            checkpoint = JobCheckpoint(resume_dir, config)
+            saved = checkpoint.load_result()
+            if saved is not None:
+                saved = dict(saved)
+                saved.update(
+                    resumed=True,
+                    phases_run=[],
+                    seconds=round(time.perf_counter() - t0, 3),
+                )
+                return saved
         engine = DiscoveryEngine(config=config)
+        if checkpoint is not None:
+            restored = checkpoint.restore(engine)
+            # a retry sails past the fault that killed attempt 0
+            engine.fault_attempt = checkpoint.attempts()
+            if restored and engine.obs.metrics is not None:
+                engine.obs.metrics.counter(
+                    "resilience.phases_restored",
+                    "checkpoint phases adopted instead of recomputed",
+                ).inc(len(restored))
         result = engine.run()
     except Exception as exc:  # a bad job must not sink the whole batch
         row["error"] = f"{type(exc).__name__}: {exc}"
         row["traceback"] = traceback.format_exc()
+        if checkpoint is not None:
+            if engine is not None:
+                # phases that finished before the crash are exactly
+                # what the next attempt skips
+                checkpoint.save_phases(engine)
+            checkpoint.record_failure(row["error"])
+            row["checkpoint_key"] = checkpoint.key
+            row["attempts"] = checkpoint.attempts()
     else:
         if result.metrics:
             # jobs run in pool processes: metrics ride the row home, and
@@ -100,26 +165,167 @@ def run_job(job: dict) -> dict:
                 else None
             ),
         )
+        row["phases_run"] = [
+            phase
+            for key, phase in _PHASE_TIMING_KEYS
+            if key in engine.timing_detail
+        ]
+        if checkpoint is not None:
+            row["checkpoint_key"] = checkpoint.key
+            row["attempts"] = checkpoint.attempts()
+            row["resumed"] = bool(restored)
+            row["phases_restored"] = restored
+            checkpoint.save_phases(engine)
+            done = dict(row)
+            done["seconds"] = round(time.perf_counter() - t0, 3)
+            checkpoint.save_result(done)
     row["seconds"] = round(time.perf_counter() - t0, 3)
     return row
+
+
+# -- quarantine bookkeeping (resume_dir-scoped) ------------------------
+
+
+def _quarantine_path(resume_dir: str) -> str:
+    return os.path.join(resume_dir, "quarantine.json")
+
+
+def load_quarantine(resume_dir: str) -> dict:
+    """``{job name: consecutive failure count}`` for this resume dir."""
+    try:
+        with open(_quarantine_path(resume_dir), "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return {}
+
+
+def _save_quarantine(resume_dir: str, counts: dict) -> None:
+    path = _quarantine_path(resume_dir)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(counts, f)
+    os.replace(tmp, path)
+
+
+def _job_worker(job: dict, resume_dir: Optional[str], queue) -> None:
+    """Process entry point of the per-job wall-clock-cap mode."""
+    queue.put(run_job(job, resume_dir=resume_dir))
+
+
+def _run_job_capped(
+    job: dict, resume_dir: Optional[str], job_timeout: float
+) -> dict:
+    """One job in its own process, killed past ``job_timeout`` seconds.
+
+    A kill leaves the job's checkpoint directory at its last completed
+    phase, so the timeout row is resumable like any other crash.
+    """
+    name = job.get("workload") or job.get("name", "<source>")
+    ctx = multiprocessing.get_context()
+    queue = ctx.SimpleQueue()
+    proc = ctx.Process(
+        target=_job_worker, args=(job, resume_dir, queue), daemon=True
+    )
+    t0 = time.perf_counter()
+    proc.start()
+    proc.join(timeout=job_timeout)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=5)
+        if proc.is_alive():  # SIGTERM ignored: escalate
+            proc.kill()
+            proc.join()
+        return {
+            "name": name,
+            "ok": False,
+            "error": f"TimeoutError: job exceeded {job_timeout:g}s cap",
+            "timed_out": True,
+            "seconds": round(time.perf_counter() - t0, 3),
+        }
+    if not queue.empty():
+        return queue.get()
+    return {
+        "name": name,
+        "ok": False,
+        "error": (
+            f"RuntimeError: job process died with exit code "
+            f"{proc.exitcode} before reporting a row"
+        ),
+        "seconds": round(time.perf_counter() - t0, 3),
+    }
 
 
 def run_batch(
     jobs: Iterable[dict],
     *,
     jobs_parallel: Optional[int] = None,
+    resume_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    quarantine_after: int = 3,
 ) -> list[dict]:
     """Run every job; ``jobs_parallel`` > 1 uses a process pool.
 
     Rows come back in submission order regardless of completion order.
+    ``resume_dir`` checkpoints per-job progress (see :func:`run_job`);
+    ``job_timeout`` caps each job's wall clock by running it in its own
+    process; with a ``resume_dir``, a job that has failed
+    ``quarantine_after`` times is skipped with a ``quarantined`` row
+    until its counter is cleared from ``quarantine.json``.
     """
     jobs = list(jobs)
     if jobs_parallel is None:
         jobs_parallel = min(len(jobs), 4) or 1
-    if jobs_parallel <= 1 or len(jobs) <= 1:
-        return [run_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=jobs_parallel) as pool:
-        return list(pool.map(run_job, jobs))
+    quarantine = load_quarantine(resume_dir) if resume_dir else {}
+
+    runnable: list = []  # (original index, job)
+    rows: list = [None] * len(jobs)
+    for i, job in enumerate(jobs):
+        name = job.get("workload") or job.get("name", "<source>")
+        if quarantine.get(name, 0) >= quarantine_after:
+            rows[i] = {
+                "name": name,
+                "ok": False,
+                "quarantined": True,
+                "error": (
+                    f"quarantined after {quarantine[name]} failed "
+                    f"attempts (clear quarantine.json to retry)"
+                ),
+                "seconds": 0.0,
+            }
+        else:
+            runnable.append((i, job))
+
+    if job_timeout is not None:
+        # wall-clock caps need a dedicated process per job so a
+        # runaway one can be killed without losing its siblings
+        results = [
+            _run_job_capped(job, resume_dir, job_timeout)
+            for _, job in runnable
+        ]
+    elif jobs_parallel <= 1 or len(runnable) <= 1:
+        results = [
+            run_job(job, resume_dir=resume_dir) for _, job in runnable
+        ]
+    else:
+        runner = functools.partial(run_job, resume_dir=resume_dir)
+        with ProcessPoolExecutor(max_workers=jobs_parallel) as pool:
+            results = list(pool.map(runner, (job for _, job in runnable)))
+
+    dirty = False
+    for (i, _job), row in zip(runnable, results):
+        rows[i] = row
+        if resume_dir is not None:
+            name = row.get("name", "<source>")
+            if row.get("ok"):
+                if name in quarantine:
+                    del quarantine[name]
+                    dirty = True
+            else:
+                quarantine[name] = quarantine.get(name, 0) + 1
+                dirty = True
+    if dirty and resume_dir is not None:
+        _save_quarantine(resume_dir, quarantine)
+    return rows
 
 
 def format_batch_table(rows: list[dict]) -> str:
@@ -135,8 +341,9 @@ def format_batch_table(rows: list[dict]) -> str:
             top_txt = (
                 f"{top['kind']} {top['location']}" if top else "(none)"
             )
+            flag = "y" if not row.get("resumed") else "r"
             lines.append(
-                f"{row['name']:<16} {'y':<3} {row['loops']:>5} "
+                f"{row['name']:<16} {flag:<3} {row['loops']:>5} "
                 f"{row['parallelizable_loops']:>4} {row['suggestions']:>4} "
                 f"{row['deps']:>6} {top_txt:<32} {row['seconds']:>6.2f}"
             )

@@ -1,6 +1,6 @@
 """Performance benchmarks: the event pipeline, VM dispatch, detection.
 
-Four suites live here:
+Five suites live here:
 
 * **pipeline** (:func:`run_pipeline_bench`) — tuple vs. columnar chunk
   formats through the dependence profiler (the PR-2 trajectory seed,
@@ -27,6 +27,15 @@ Four suites live here:
   all three modes, and the CI-gated *disabled* overhead bound —
   calibrated per-site guard cost times observed site activations, held
   under 2 % of the obs-off wall time (``BENCH_obs.json``).
+* **faults** (:func:`run_faults_bench`) — the resilience layer
+  (:mod:`repro.resilience`, docs/RESILIENCE.md): deterministic fault
+  matrix (kill / hang / drop-ack / corrupt-payload at first, middle and
+  last batches, plus seeded scattered mixes) against the supervised
+  sharded detection core, gating that every eventually-successful
+  schedule recovers without raising and merges a store bit-identical to
+  the serial vectorized reference, and that an unrecoverable schedule
+  degrades to in-process detection — still bit-identical — instead of
+  failing (``BENCH_faults.json``).
 
 The pipeline suite measures the hottest consumer path — pushing the
 instrumentation event stream through the dependence profiler:
@@ -52,6 +61,7 @@ from __future__ import annotations
 import resource
 import time
 import tracemalloc
+import warnings
 
 from repro.profiler.serial import SerialProfiler
 from repro.profiler.shadow import PerfectShadow, SignatureShadow
@@ -1226,5 +1236,226 @@ def format_obs_table(result: dict) -> str:
         f"(gate 2%); stores "
         f"{'identical' if result['all_stores_identical'] else 'MISMATCHED'}"
         f"; peak RSS {result['ru_maxrss_kb']} kB"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the resilience fault suite
+# ---------------------------------------------------------------------------
+
+#: the fault matrix runs on one detection-bound workload — matrix cost is
+#: cases x recovery latency, not trace size, so the smallest gated detect
+#: workload suffices
+FAULTS_BENCH_WORKLOAD = "matmul"
+
+#: worker-side fault kinds exercised by the matrix (raise_in_phase is an
+#: engine-level fault covered by the batch-resume tests, not this suite)
+FAULTS_BENCH_KINDS = (
+    "kill_worker",
+    "hang_worker",
+    "drop_slab_ack",
+    "corrupt_done_payload",
+)
+
+#: small batches so the matrix has a real first/middle/last structure
+#: (~140 task messages on the scale-1 trace) without a big trace
+FAULTS_BENCH_BATCH_EVENTS = 512
+
+#: supervision knobs tuned for bench latency: recovery behaviour is
+#: identical to the defaults, only the waits are shortened so a hung
+#: worker costs ~1 s instead of the production 60 s patience
+FAULTS_BENCH_POLICY = {
+    "hang_timeout": 1.0,
+    "poll_interval": 0.1,
+    "backoff_base": 0.01,
+    "backoff_max": 0.1,
+}
+
+
+def _faults_reference(trace, vm):
+    """The serial vectorized store every fault case must reproduce."""
+    from repro.profiler.vectorized import VectorizedProfiler
+
+    ref = VectorizedProfiler(None, vm.loop_signature)
+    for chunk in trace.chunks:
+        ref.process_chunk(chunk)
+    ref.flush()
+    return _faults_state(ref)
+
+
+def _faults_state(det) -> dict:
+    return {
+        "store": det.store.to_dict(),
+        "control": {
+            line: rec.to_dict() for line, rec in sorted(det.control.items())
+        },
+    }
+
+
+def _run_fault_case(trace, vm, plan, *, workers: int = 2) -> dict:
+    """One supervised sharded run under a fault plan; never raises."""
+    from repro.profiler.sharded import ShardedDetector
+
+    det = ShardedDetector(
+        None,
+        vm.loop_signature,
+        n_shards=workers,
+        batch_events=FAULTS_BENCH_BATCH_EVENTS,
+        slab_rows=FAULTS_BENCH_BATCH_EVENTS,
+        policy=FAULTS_BENCH_POLICY,
+        faults=plan,
+    )
+    t0 = time.perf_counter()
+    try:
+        with warnings.catch_warnings():
+            # the degrade rung warns by design; the bench records the
+            # tally instead of spamming the report
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for chunk in trace.chunks:
+                det.process_chunk(chunk)
+            det.finalize()
+    except BaseException as exc:
+        det.close()
+        return {
+            "recovered": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "seconds": round(time.perf_counter() - t0, 3),
+            "recovery": dict(det.recovery),
+        }
+    return {
+        "recovered": True,
+        "state": _faults_state(det),
+        "seconds": round(time.perf_counter() - t0, 3),
+        "recovery": dict(det.recovery),
+    }
+
+
+def run_faults_bench(
+    *,
+    scale: int = 1,
+    workers: int = 2,
+    quick: bool = False,
+    seed: int = 0,
+    chunk_size: int = 4096,
+) -> dict:
+    """Benchmark the fault-recovery layer (``BENCH_faults.json``).
+
+    Gates three claims: every eventually-successful worker fault
+    schedule — each kind at the first, middle and last task batch, plus
+    seeded :meth:`~repro.resilience.FaultPlan.scattered` mixes —
+    completes without raising (``all_recovered``) with a merged store
+    bit-identical to the serial vectorized reference
+    (``all_stores_identical``); and a schedule that exhausts every
+    retry budget degrades to in-process detection rather than failing,
+    still bit-identical (``degraded_runs`` == expected, degraded case
+    included in the identity gate).  ``quick`` trims the matrix to one
+    position per kind for the CI smoke lane.
+    """
+    from repro.resilience import FaultEvent, FaultPlan
+    from repro.workloads import get_workload
+
+    workload = get_workload(FAULTS_BENCH_WORKLOAD)
+    module = workload.compile(scale)
+    trace = TraceSink()
+    vm = VM(module, trace, chunk_format="columnar", chunk_size=chunk_size)
+    vm.run(workload.entry)
+    reference = _faults_reference(trace, vm)
+
+    events = len(trace)
+    n_batches = max(1, -(-events // FAULTS_BENCH_BATCH_EVENTS))
+    positions = [0, n_batches // 2, n_batches - 1]
+    rows = []
+
+    if quick:
+        # one position per kind, rotating so the reduced lane still
+        # touches first, middle and last batches across the kinds
+        matrix = [
+            (kind, positions[i % len(positions)])
+            for i, kind in enumerate(FAULTS_BENCH_KINDS)
+        ]
+    else:
+        matrix = [
+            (kind, batch)
+            for kind in FAULTS_BENCH_KINDS
+            for batch in positions
+        ]
+    for kind, batch in matrix:
+        plan = FaultPlan([FaultEvent(kind=kind, shard=0, batch=batch)])
+        case = _run_fault_case(trace, vm, plan, workers=workers)
+        case.update(case_kind=kind, batch=batch, schedule="single")
+        rows.append(case)
+
+    n_scattered = 1 if quick else 3
+    for i in range(n_scattered):
+        plan = FaultPlan.scattered(
+            seed + i, n_shards=workers, n_batches=n_batches,
+        )
+        case = _run_fault_case(trace, vm, plan, workers=workers)
+        case.update(
+            case_kind="+".join(e.kind for e in plan.events),
+            batch=None,
+            schedule=f"scattered[{seed + i}]",
+        )
+        rows.append(case)
+
+    # unrecoverable: a kill at every generation exhausts shard retries
+    # and the pool restart; the ladder's last rung must degrade to
+    # in-process detection, not raise
+    degrade_plan = FaultPlan(
+        [
+            FaultEvent(kind="kill_worker", batch=0, gen=gen)
+            for gen in range(8)
+        ]
+    )
+    case = _run_fault_case(trace, vm, degrade_plan, workers=workers)
+    case.update(case_kind="kill_worker", batch=0, schedule="unrecoverable")
+    rows.append(case)
+
+    for row in rows:
+        row["store_identical"] = (
+            row["recovered"] and row.pop("state", None) == reference
+        )
+    degraded_runs = sum(r["recovery"].get("degraded", 0) for r in rows)
+    return {
+        "bench": "faults",
+        "workload": FAULTS_BENCH_WORKLOAD,
+        "events": events,
+        "n_batches": n_batches,
+        "workers": workers,
+        "cases": rows,
+        "all_recovered": all(r["recovered"] for r in rows),
+        "all_stores_identical": all(r["store_identical"] for r in rows),
+        "degraded_runs": degraded_runs,
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "quick": quick,
+    }
+
+
+def format_faults_table(result: dict) -> str:
+    """Fixed-width rendering in the benchmarks/out house style."""
+    header = (
+        f"{'schedule':<16} {'fault':<32} {'batch':>5} {'ok':>3} "
+        f"{'ident':>5} {'retry':>5} {'pool':>4} {'degr':>4} {'s':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result["cases"]:
+        rec = row["recovery"]
+        batch = "-" if row["batch"] is None else str(row["batch"])
+        lines.append(
+            f"{row['schedule']:<16} {row['case_kind']:<32} {batch:>5} "
+            f"{'y' if row['recovered'] else 'n':>3} "
+            f"{'y' if row['store_identical'] else 'N':>5} "
+            f"{rec.get('shard_retries', 0):>5} "
+            f"{rec.get('pool_restarts', 0):>4} "
+            f"{rec.get('degraded', 0):>4} {row['seconds']:>6.2f}"
+        )
+    lines.append(
+        f"{len(result['cases'])} cases over {result['events']} events "
+        f"({result['n_batches']} batches, {result['workers']} workers); "
+        f"recovered {'all' if result['all_recovered'] else 'NOT ALL'}; "
+        f"stores "
+        f"{'identical' if result['all_stores_identical'] else 'MISMATCHED'}"
+        f"; degraded runs {result['degraded_runs']}"
     )
     return "\n".join(lines)

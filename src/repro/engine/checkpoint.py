@@ -1,0 +1,225 @@
+"""Content-addressed job checkpoints (the resumable-batch backbone).
+
+A :class:`JobCheckpoint` persists a discovery job's completed phase
+artifacts under ``<root>/<key>/`` where the key is *content-addressed*:
+``sha256(source)[:12] + "-" + sha256(config-minus-identity)[:12]``.  Two
+jobs with the same source text and the same analysis-relevant config
+share a key — display ``name`` and the test-only ``fault_plan`` /
+``resilience`` supervision knobs deliberately do not participate, since
+they change how a run recovers, never what it computes.
+
+Layout per job::
+
+    config.json     the full DiscoveryConfig (provenance / debugging)
+    attempts.json   recorded failures; len() = next attempt ordinal
+    trace.npz       the recorded event trace (chunk boundaries kept)
+    sigs.json       the VM's interned loop-signature table
+    profile.json    ProfileArtifact.to_dict()
+    cus.json        CUArtifact.to_dict()
+    detect.json     DetectArtifact.to_dict()
+    rank.json       RankArtifact.to_dict()
+    result.json     the finished batch row (presence = job complete)
+
+Every write is atomic (tmp + ``os.replace``), so a crash mid-save never
+leaves a truncated artifact: resume sees either the previous state or
+the new one.  :meth:`JobCheckpoint.restore` installs the longest
+available phase *prefix* into an engine via
+:meth:`~repro.engine.core.DiscoveryEngine.adopt`; the engine's phase
+caches then skip straight to the first missing phase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.engine.artifacts import (
+    CUArtifact,
+    DetectArtifact,
+    ProfileArtifact,
+    RankArtifact,
+)
+from repro.engine.config import DiscoveryConfig
+
+#: phase name -> (artifact file, artifact class), in pipeline order
+PHASE_FILES = (
+    ("profile", "profile.json", ProfileArtifact),
+    ("cus", "cus.json", CUArtifact),
+    ("detect", "detect.json", DetectArtifact),
+    ("rank", "rank.json", RankArtifact),
+)
+
+#: config fields that never affect what a run computes, only how it is
+#: labelled or supervised — excluded from the checkpoint key
+KEY_EXCLUDED_FIELDS = ("name", "fault_plan", "resilience")
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def job_key(config: DiscoveryConfig) -> str:
+    """``source-hash × config-hash`` identity of one discovery job."""
+    data = config.to_dict()
+    source = data.pop("source") or ""
+    for field in KEY_EXCLUDED_FIELDS:
+        data.pop(field, None)
+    canonical = json.dumps(data, sort_keys=True, default=str)
+    return f"{_sha(source)[:12]}-{_sha(canonical)[:12]}"
+
+
+def _write_atomic(path: str, payload: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def _write_json(path: str, data) -> None:
+    _write_atomic(path, json.dumps(data))
+
+
+def _read_json(path: str):
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class _SignatureDecoder:
+    """Stands in for the profiling VM after a restore.
+
+    Downstream phases only need ``loop_signature`` (the interned
+    signature table); the VM itself is not reconstructable without
+    re-running the program — which is exactly what resume avoids.
+    """
+
+    def __init__(self, sig_list) -> None:
+        self._sig_list = [tuple(sig) for sig in sig_list]
+
+    def loop_signature(self, sig_id: int) -> tuple:
+        return self._sig_list[sig_id]
+
+
+class JobCheckpoint:
+    """Phase-artifact persistence for one content-addressed job."""
+
+    def __init__(self, root: str, config: DiscoveryConfig) -> None:
+        self.key = job_key(config)
+        self.config = config
+        self.dir = os.path.join(root, self.key)
+        os.makedirs(self.dir, exist_ok=True)
+        if not os.path.exists(self._path("config.json")):
+            _write_json(self._path("config.json"), config.to_dict())
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.dir, name)
+
+    # -- attempt bookkeeping -------------------------------------------
+
+    def attempts(self) -> int:
+        """How many recorded failures precede this attempt."""
+        return len(_read_json(self._path("attempts.json")) or [])
+
+    def record_failure(self, error: str) -> None:
+        failures = _read_json(self._path("attempts.json")) or []
+        failures.append({"error": error})
+        _write_json(self._path("attempts.json"), failures)
+
+    # -- saving --------------------------------------------------------
+
+    def save_phases(self, engine) -> list:
+        """Persist every phase artifact the engine has cached.
+
+        Called after a run *and* after a failure — the phases that
+        completed before a crash are exactly what resume skips.
+        Returns the phase names newly written.
+        """
+        saved = []
+        cached = {
+            "profile": engine._profile,
+            "cus": engine._cus,
+            "detect": engine._detect,
+            "rank": engine._rank,
+        }
+        for phase, filename, _cls in PHASE_FILES:
+            artifact = cached[phase]
+            if artifact is None or os.path.exists(self._path(filename)):
+                continue
+            if phase == "profile":
+                self._save_trace_parts(artifact)
+            _write_json(self._path(filename), artifact.to_dict())
+            saved.append(phase)
+        return saved
+
+    def _save_trace_parts(self, profile: ProfileArtifact) -> None:
+        from repro.runtime.events import save_trace
+
+        trace_path = self._path("trace.npz")
+        tmp = trace_path + ".tmp"
+        save_trace(profile.trace, tmp)
+        os.replace(tmp, trace_path)
+        sig_list = list(getattr(profile.vm, "_sig_list", [()]))
+        _write_json(self._path("sigs.json"), [list(s) for s in sig_list])
+
+    def save_result(self, row: dict) -> None:
+        """Mark the job complete; presence of result.json = done."""
+        _write_json(self._path("result.json"), row)
+
+    # -- loading -------------------------------------------------------
+
+    def load_result(self) -> Optional[dict]:
+        return _read_json(self._path("result.json"))
+
+    def completed_phases(self) -> list:
+        return [
+            phase
+            for phase, filename, _cls in PHASE_FILES
+            if os.path.exists(self._path(filename))
+        ]
+
+    def restore(self, engine) -> list:
+        """Adopt the longest persisted phase prefix; returns its names.
+
+        The profile artifact is rehydrated with its trace, a rebuilt
+        PET, and a :class:`_SignatureDecoder` shim in the ``vm`` slot;
+        later phases re-enter exactly where the artifacts stop.
+        """
+        artifacts = {}
+        restored = []
+        for phase, filename, cls in PHASE_FILES:
+            data = _read_json(self._path(filename))
+            if data is None:
+                break  # adopt() wants a prefix; stop at the first gap
+            artifact = cls.from_dict(data)
+            if phase == "profile":
+                artifact = self._rehydrate_profile(artifact, engine)
+                if artifact is None:
+                    break
+            artifacts[phase] = artifact
+            restored.append(phase)
+        if artifacts:
+            engine.adopt(**artifacts)
+        return restored
+
+    def _rehydrate_profile(
+        self, artifact: ProfileArtifact, engine
+    ) -> Optional[ProfileArtifact]:
+        from repro.profiler.pet import PETBuilder
+        from repro.runtime.events import load_trace
+
+        trace_path = self._path("trace.npz")
+        sigs = _read_json(self._path("sigs.json"))
+        if not os.path.exists(trace_path) or sigs is None:
+            return None  # phase row without its trace: treat as missing
+        trace = load_trace(trace_path)
+        pet = PETBuilder()
+        for chunk in trace.iter_chunks():
+            pet.process_chunk(chunk)
+        artifact.trace = trace
+        artifact.pet = pet
+        artifact.vm = _SignatureDecoder(sigs)
+        artifact.module = engine.module
+        return artifact

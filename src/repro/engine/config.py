@@ -91,6 +91,15 @@ class DiscoveryConfig:
     #: nothing, "metrics" fills DiscoveryResult.metrics, "trace" adds
     #: span tracing + self-profiling (export with ``repro trace``)
     obs: str = "off"
+    #: supervision knobs for the sharded detection core, as a
+    #: :meth:`repro.resilience.RetryPolicy.to_dict` mapping (attempt
+    #: budgets, seeded backoff, done/join/hang timeout budgets); empty =
+    #: the RetryPolicy defaults.  See docs/RESILIENCE.md.
+    resilience: dict = field(default_factory=dict)
+    #: test-only deterministic fault schedule, as a
+    #: :meth:`repro.resilience.FaultPlan.to_dict` mapping; None (the
+    #: production value) injects nothing
+    fault_plan: Optional[dict] = None
 
     def replace(self, **changes) -> "DiscoveryConfig":
         """A copy with the given fields changed (dataclasses.replace)."""
@@ -125,6 +134,10 @@ class DiscoveryConfig:
             options.setdefault("detect_workers", self.detect_workers)
             if self.detect_sampling is not None:
                 options.setdefault("detect_sampling", self.detect_sampling)
+            if self.resilience:
+                options.setdefault("resilience", dict(self.resilience))
+            if self.fault_plan is not None:
+                options.setdefault("fault_plan", dict(self.fault_plan))
         return options
 
     def to_dict(self) -> dict:
@@ -156,6 +169,10 @@ class DiscoveryConfig:
             "validate": self.validate,
             "parallel_quantum": self.parallel_quantum,
             "obs": self.obs,
+            "resilience": dict(self.resilience),
+            "fault_plan": (
+                dict(self.fault_plan) if self.fault_plan is not None else None
+            ),
         }
 
     @classmethod
@@ -188,4 +205,10 @@ class DiscoveryConfig:
             validate=data.get("validate", False),
             parallel_quantum=data.get("parallel_quantum", 256),
             obs=data.get("obs", "off"),
+            resilience=dict(data.get("resilience") or {}),
+            fault_plan=(
+                dict(data["fault_plan"])
+                if data.get("fault_plan") is not None
+                else None
+            ),
         )

@@ -127,6 +127,16 @@ class DiscoveryEngine:
         self.timing_detail: dict[str, dict] = {}
         #: per-run observability bundle (mode, tracer, metrics)
         self.obs = ObsSession(config.obs)
+        #: test-only deterministic fault schedule (config.fault_plan);
+        #: None in production.  ``fault_attempt`` is matched against
+        #: ``FaultEvent.gen`` so a resumed/retried run (attempt 1+) sails
+        #: past the faults that crashed attempt 0.
+        self._faults = None
+        self.fault_attempt = 0
+        if config.fault_plan is not None:
+            from repro.resilience import FaultPlan
+
+            self._faults = FaultPlan.from_dict(config.fault_plan)
         self._profile: Optional[ProfileArtifact] = None
         self._cus: Optional[CUArtifact] = None
         self._detect: Optional[DetectArtifact] = None
@@ -142,6 +152,50 @@ class DiscoveryEngine:
     def from_source(cls, source: str, **overrides) -> "DiscoveryEngine":
         """Build an engine straight from MiniC source text."""
         return cls(config=DiscoveryConfig(source=source, **overrides))
+
+    def _check_fault(self, phase: str) -> None:
+        """Raise an injected ``raise_in_phase`` fault if one is due."""
+        if self._faults is not None:
+            self._faults.check_phase(phase, attempt=self.fault_attempt)
+
+    def adopt(
+        self,
+        *,
+        profile: Optional[ProfileArtifact] = None,
+        cus: Optional[CUArtifact] = None,
+        detect: Optional[DetectArtifact] = None,
+        rank: Optional[RankArtifact] = None,
+    ) -> None:
+        """Install previously computed phase artifacts (checkpoint resume).
+
+        Artifacts must form a prefix of the phase chain — adopting a
+        downstream artifact without its upstream inputs would let a
+        later ``force=True`` silently recompute from nothing.  The batch
+        runner restores a crashed job this way and re-enters at the
+        first missing phase; adopted phases never count in ``vm_runs``
+        or ``timings``.
+        """
+        chain = [
+            ("profile", profile), ("cus", cus),
+            ("detect", detect), ("rank", rank),
+        ]
+        seen_gap = False
+        for name, artifact in chain:
+            if artifact is None:
+                seen_gap = True
+            elif seen_gap:
+                raise ValueError(
+                    f"adopt() artifacts must form a phase prefix: "
+                    f"{name!r} supplied but an upstream phase is missing"
+                )
+        if profile is not None:
+            self._profile = profile
+        if cus is not None:
+            self._cus = cus
+        if detect is not None:
+            self._detect = detect
+        if rank is not None:
+            self._rank = rank
 
     def _record_timing(self, phase: str, wall: float) -> None:
         """Accumulate a phase wall time (re-entrant phases add, not clobber).
@@ -199,6 +253,7 @@ class DiscoveryEngine:
         if self._profile is None or force:
             import time as _time
 
+            self._check_fault("profile")
             t0 = _time.perf_counter()
             with self.obs.tracer.span("phase.profile", "engine"):
                 self._profile = self._run_profile()
@@ -321,6 +376,7 @@ class DiscoveryEngine:
         if self._cus is None or force:
             import time as _time
 
+            self._check_fault("cus")
             profile = self.profile()
             t0 = _time.perf_counter()
             with self.obs.tracer.span("phase.build_cus", "engine"):
@@ -350,6 +406,7 @@ class DiscoveryEngine:
         if self._detect is None or force:
             import time as _time
 
+            self._check_fault("detect")
             profile = self.profile()
             cus = self.build_cus()
             t0 = _time.perf_counter()
@@ -463,6 +520,7 @@ class DiscoveryEngine:
         if self._rank is None or force or self._rank.n_threads != n:
             import time as _time
 
+            self._check_fault("rank")
             t0 = _time.perf_counter()
             with self.obs.tracer.span("phase.rank", "engine", n_threads=n):
                 self._rank = self._run_rank(n)

@@ -101,6 +101,8 @@ class SerialBackend:
         detect: str = "vectorized",
         detect_workers: int = 4,
         detect_sampling: Optional[float] = None,
+        resilience: Optional[dict] = None,
+        fault_plan: Optional[dict] = None,
         name: str = "serial",
     ) -> None:
         if detect not in ("loop", "vectorized", "sharded"):
@@ -120,6 +122,13 @@ class SerialBackend:
                 n_shards=detect_workers,
                 sampling=detect_sampling,
                 lifetime_analysis=lifetime_analysis,
+                policy=resilience,
+                faults=fault_plan,
+            )
+        elif resilience or fault_plan is not None:
+            raise ValueError(
+                "resilience / fault_plan options apply to the sharded "
+                "detection core only"
             )
         elif detect == "vectorized":
             self.profiler = VectorizedProfiler(

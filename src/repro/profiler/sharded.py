@@ -54,16 +54,35 @@ context in every loop iteration always ships (see
 ``repro bench --suite detect`` measures the resulting precision/recall
 against the exact store (:func:`repro.profiler.deps.store_accuracy`)
 and gates on it.
+
+**Supervision** (``policy=RetryPolicy(...)``): every dispatched batch is
+journaled to disk, worker messages carry a per-shard generation tag, and
+the blocking waits poll with liveness checks instead of hanging on the
+queue.  A dead or hung worker is recovered by replaying *only its shard's
+partition* from the journal — ``addr % n_shards`` keeps shard state
+disjoint, so a re-run + re-merge is bit-identical — escalating
+retry shard → restart pool → degrade to in-process serial vectorized
+detection (warn + ``resilience.degraded`` metric) rather than raising.
+Without a policy the detector keeps the legacy contract: any worker
+failure raises :class:`ShardedDetectionError`.  See docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
+import os
+import queue as queue_mod
+import tempfile
+import time
 import traceback
+import warnings
 from multiprocessing import shared_memory
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
+
+from repro.resilience import FaultPlan, RetryPolicy, WorkerFaultInjector
 
 from repro.profiler.deps import DependenceStore
 from repro.profiler.serial import ControlRecord, ProfileStats
@@ -104,6 +123,10 @@ DEFAULT_SLAB_ROWS = 1 << 17
 DEFAULT_SAMPLING_SLOTS = 1 << 20
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: per-process run counter: slab names become ``repro<pid>d<run>s<i>``
+#: so a leak scan of /dev/shm can anchor on one run's prefix
+_RUN_SEQ = itertools.count()
 
 # splitmix64 finalizer constants (deterministic event-sampling hash)
 _MIX_A = np.uint64(0x9E3779B97F4A7C15)
@@ -158,6 +181,22 @@ def shard_mask(rows: np.ndarray, n_shards: int, shard: int) -> np.ndarray:
 def split_rows(rows: np.ndarray, n_shards: int) -> list[np.ndarray]:
     """Per-shard row subsets, order preserved within each shard."""
     return [rows[shard_mask(rows, n_shards, s)] for s in range(n_shards)]
+
+
+def multi_shard_mask(
+    rows: np.ndarray, n_shards: int, shards: np.ndarray
+) -> np.ndarray:
+    """Rows a *union* of shards consumes (degraded-mode partition).
+
+    The union of shard classes is itself a valid partition class under
+    the same ``addr % n_shards`` argument — one profiler over the
+    combined rows produces exactly the merge of the per-shard results —
+    so serial fallback can replay all incomplete shards in one pass.
+    """
+    kinds = rows[:, COL_KIND]
+    mem = kinds <= K_WRITE
+    mine = mem & np.isin(rows[:, COL_ADDR] % n_shards, shards)
+    return mine | (kinds == K_FREE)
 
 
 def merge_frontiers(frontiers) -> ShadowFrontier:
@@ -260,6 +299,9 @@ def _shard_worker(
     signature_slots: Optional[int],
     lifetime_analysis: bool,
     obs_mode: str = "off",
+    gen: int = 0,
+    heartbeat: bool = False,
+    fault_events: Optional[list] = None,
 ) -> None:
     """Worker main: consume slab/segment messages, detect one shard.
 
@@ -272,9 +314,20 @@ def _shard_worker(
     registry and ships them in the final ``done`` payload (or alongside
     the traceback on failure) — one span per consumed message, counters
     for rows seen/kept, and the peak RSS this process reached.
+
+    Every message back to the parent carries ``gen``, the attempt
+    generation this worker was spawned at — the supervisor discards
+    stale-generation messages from workers it has already replaced.
+    With ``heartbeat`` on (supervised runs) the worker reports a
+    liveness ``("hb", shard, gen)`` on receipt of every task message,
+    before any processing, so the parent can tell hung from slow.
+    ``fault_events`` carries this attempt's slice of a test-only
+    :class:`~repro.resilience.FaultPlan`; production runs pass None.
     """
     slabs = []
     tracer = registry = None
+    faults = WorkerFaultInjector(fault_events or [])
+    batch = 0
     try:
         if obs_mode != "off":
             from repro.obs import MetricsRegistry, Tracer
@@ -304,6 +357,14 @@ def _shard_worker(
             kind = msg[0]
             if kind == "finish":
                 break
+            # faults fire before any queue traffic: an injected kill
+            # must not die holding the result queue's write lock (a
+            # poisoned lock silences every worker — the pool-restart
+            # rung rebuilds the queue to recover from the real thing)
+            drop_ack = faults.on_message(batch) if faults else False
+            batch += 1
+            if heartbeat:
+                result_q.put(("hb", shard, gen))
             if tracer is not None and tracer.enabled:
                 tracer.begin("shard.batch", "detect")
             if kind == "rows":
@@ -312,7 +373,8 @@ def _shard_worker(
                 mine = rows[shard_mask(rows, n_shards, shard)]
                 # the gather above copied out of the slab: ack first so
                 # the parent can refill it while this shard detects
-                result_q.put(("ack", idx, shard))
+                if not drop_ack:
+                    result_q.put(("ack", idx, shard, gen))
                 seen = n
             else:  # "npy": mmap a raw spill segment, zero staging copy
                 _, path, names_sfx, sigs_sfx = msg
@@ -373,17 +435,66 @@ def _shard_worker(
             "memory_bytes": profiler.memory_bytes(),
         }
         payload.update(_worker_obs_payload(tracer, registry))
-        result_q.put(("done", shard, payload))
+        if faults:
+            payload = faults.on_done(payload)
+        result_q.put(("done", shard, gen, payload))
     except BaseException:  # pragma: no cover - exercised via error test
         result_q.put((
             "error",
             shard,
+            gen,
             traceback.format_exc(),
             _worker_obs_payload(tracer, registry),
         ))
     finally:
         for slab in slabs:
             slab.close()
+
+
+# ---------------------------------------------------------------------------
+# the replay journal
+# ---------------------------------------------------------------------------
+
+
+class _ReplayJournal:
+    """Disk journal of every dispatched batch, in dispatch order.
+
+    Supervised runs journal each slab piece (post-sampler, so replays
+    never re-flip sampling coins) as a raw ``.npy`` file; broadcast
+    spill segments journal by their existing path with no copy.  A
+    restarted shard worker replays the whole journal as ``("npy", ...)``
+    messages — its ``addr % n_shards`` gather re-derives exactly the
+    partition the failed attempt held, with no slab/ack bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._dir = tempfile.mkdtemp(prefix="repro-journal-")
+        self._seq = 0
+        self.entries: list[str] = []
+        self._owned: list[str] = []
+
+    def record_rows(self, rows: np.ndarray) -> None:
+        path = os.path.join(self._dir, f"batch{self._seq:06d}.npy")
+        self._seq += 1
+        np.save(path, rows)
+        self.entries.append(path)
+        self._owned.append(path)
+
+    def record_segment(self, path: str) -> None:
+        self.entries.append(path)
+
+    def close(self) -> None:
+        for path in self._owned:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        try:
+            os.rmdir(self._dir)
+        except OSError:  # pragma: no cover - non-empty/missing
+            pass
+        self._owned = []
+        self.entries = []
 
 
 # ---------------------------------------------------------------------------
@@ -584,6 +695,8 @@ class ShardedDetector:
         batch_events: int = DEFAULT_SLAB_ROWS,
         slab_rows: int = DEFAULT_SLAB_ROWS,
         start_method: Optional[str] = None,
+        policy: Optional[Union[RetryPolicy, dict]] = None,
+        faults: Optional[Union[FaultPlan, dict]] = None,
     ) -> None:
         if n_shards <= 0:
             raise ValueError("need at least one shard worker")
@@ -618,9 +731,16 @@ class ShardedDetector:
         self._buffer: list[np.ndarray] = []
         self._buffered = 0
         # interned-suffix watermarks: slot 0 (None / empty signature) is
-        # pre-seeded in every worker, so shipping starts at id 1
+        # pre-seeded in every worker, so shipping starts at id 1.
+        # *_sent advances when a suffix is computed, *_pub when the
+        # message carrying it is actually published — a replay prefix
+        # must stop at the published mark, or a restart that fires while
+        # a computed suffix is still in flight would ship those entries
+        # twice and shift every later id in the replacement's tables
         self._names_sent = 1
         self._sigs_sent = 1
+        self._names_pub = 1
+        self._sigs_pub = 1
         self._sig_tuples: list[tuple] = [()]
         self._procs: Optional[list] = None
         self._task_qs: list = []
@@ -628,11 +748,49 @@ class ShardedDetector:
         self._slabs: list = []
         self._views: list = []
         self._free_slabs: list[int] = []
-        self._pending: list[int] = []
+        #: per-slab set of shards that have not acked it yet
+        self._pending: list[set] = []
         self._finalized = False
         #: engine observability (attach_obs); None = obs off
         self._tracer = None
         self._metrics = None
+        # -- supervision (docs/RESILIENCE.md) --------------------------
+        if isinstance(policy, dict):
+            policy = RetryPolicy.from_dict(policy)
+        if isinstance(faults, dict):
+            faults = FaultPlan.from_dict(faults)
+        #: no policy = legacy contract: worker failures raise, the old
+        #: hardcoded waits become the policy's (configurable) defaults
+        self.policy = policy if policy is not None else RetryPolicy.disabled()
+        self.faults = faults
+        #: recovery-action tally, mirrored into ``resilience.*`` metrics
+        self.recovery: dict[str, int] = {
+            "worker_deaths": 0,
+            "hung_workers": 0,
+            "worker_errors": 0,
+            "bad_payloads": 0,
+            "shard_retries": 0,
+            "pool_restarts": 0,
+            "degraded": 0,
+            "cleanup_failures": 0,
+        }
+        #: /dev/shm name prefix for this run's slabs (leak-scan anchor)
+        self.shm_prefix = f"repro{os.getpid()}d{next(_RUN_SEQ)}"
+        self._journal: Optional[_ReplayJournal] = None
+        self._gen = [0] * n_shards
+        self._last_seen = [0.0] * n_shards
+        self._slab_sent: list[float] = []
+        self._done_shards: set[int] = set()
+        self._payloads: dict[int, dict] = {}
+        self._shard_retries = [0] * n_shards
+        self._total_retries = 0
+        self._pool_restarts = 0
+        self._finishing = False
+        self._degraded: Optional[VectorizedProfiler] = None
+        self._serial_shards: Optional[np.ndarray] = None
+        self._ctx = None
+        self._obs_mode = "off"
+        self._slab_names: list[str] = []
 
     def attach_obs(self, tracer, metrics) -> None:
         """Adopt the engine's tracer/metrics; must precede first dispatch.
@@ -705,12 +863,15 @@ class ShardedDetector:
             method = (
                 "fork" if "fork" in mp.get_all_start_methods() else None
             )
-        ctx = mp.get_context(method)
+        self._ctx = ctx = mp.get_context(method)
         n_slabs = self.n_shards + 2
         slab_bytes = self.slab_rows * N_COLS * 8
         self._slabs = [
-            shared_memory.SharedMemory(create=True, size=slab_bytes)
-            for _ in range(n_slabs)
+            shared_memory.SharedMemory(
+                create=True, size=slab_bytes,
+                name=f"{self.shm_prefix}s{i}",
+            )
+            for i in range(n_slabs)
         ]
         self._views = [
             np.ndarray(
@@ -719,77 +880,405 @@ class ShardedDetector:
             for s in self._slabs
         ]
         self._free_slabs = list(range(n_slabs))
-        self._pending = [0] * n_slabs
+        self._pending = [set() for _ in range(n_slabs)]
+        self._slab_sent = [0.0] * n_slabs
         self._result_q = ctx.Queue()
         self._task_qs = [ctx.SimpleQueue() for _ in range(self.n_shards)]
-        slab_names = [s.name for s in self._slabs]
+        self._slab_names = [s.name for s in self._slabs]
         obs_mode = "off"
         if self._tracer is not None:
             obs_mode = "trace"
         elif self._metrics is not None:
             obs_mode = "metrics"
-        self._procs = []
+        self._obs_mode = obs_mode
+        if self.policy.supervise and self._journal is None:
+            self._journal = _ReplayJournal()
+        now = time.monotonic()
+        self._last_seen = [now] * self.n_shards
+        self._procs = [None] * self.n_shards
         for shard in range(self.n_shards):
-            proc = ctx.Process(
-                target=_shard_worker,
-                args=(
-                    shard, self.n_shards, slab_names, self.slab_rows,
-                    self._task_qs[shard], self._result_q,
-                    self.worker_slots, self.lifetime_analysis,
-                    obs_mode,
-                ),
-                daemon=True,
+            self._spawn(shard)
+
+    def _spawn(self, shard: int) -> None:
+        gen = self._gen[shard]
+        fault_events = (
+            self.faults.for_worker(shard, gen) if self.faults else None
+        )
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                shard, self.n_shards, self._slab_names, self.slab_rows,
+                self._task_qs[shard], self._result_q,
+                self.worker_slots, self.lifetime_analysis,
+                self._obs_mode, gen, self.policy.supervise, fault_events,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._procs[shard] = proc
+
+    # -- supervision ---------------------------------------------------
+
+    @property
+    def _supervised(self) -> bool:
+        return self.policy.supervise and self._journal is not None
+
+    def _note(self, action: str, value: int = 1, **fields) -> None:
+        """Tally a recovery action into ``recovery`` + obs (if attached)."""
+        self.recovery[action] = self.recovery.get(action, 0) + value
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"resilience.{action}",
+                f"sharded-detector recovery actions: {action}",
+            ).inc(value)
+        if self._tracer is not None:
+            self._tracer.complete(
+                f"resilience.{action}", "detect", self._tracer.now(), 0,
+                args=fields or None,
             )
-            proc.start()
-            self._procs.append(proc)
+
+    def _valid_payload(self, payload) -> bool:
+        """Reject malformed done payloads before they reach merge_from."""
+        try:
+            if not isinstance(payload, dict):
+                return False
+            if not isinstance(payload["store"], DependenceStore):
+                return False
+            frontier = payload["frontier"]
+            if set(frontier) != set(ShadowFrontier.__slots__):
+                return False
+            if not all(
+                isinstance(arr, np.ndarray) for arr in frontier.values()
+            ):
+                return False
+            int(payload["deps_built"])
+            int(payload["collisions"])
+            int(payload["memory_bytes"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        return True
+
+    def _check_liveness(self, quiet_since: float) -> bool:
+        """Declare dead/hung shards failed and run the recovery ladder.
+
+        Returns True when a recovery action ran — the caller must then
+        unwind to its wait condition, because a restart can satisfy it
+        without any message arriving (clearing a dead shard's ack
+        obligations frees slabs while the dispatcher is still parked
+        inside the result pump).
+
+        A shard is *dead* when its process exited without a (valid) done
+        payload; *hung* when it holds an obligation — an unacked slab,
+        or a missing done payload after finish — and has shown no
+        liveness signal (heartbeat/ack/done) past ``hang_timeout``.
+        A heartbeat counts as progress: a restarted worker chewing
+        through a journal replay acks late but beats on every message,
+        so it is slow, not hung.  ``quiet_since`` is the last time *any*
+        worker message arrived; total silence past ``done_timeout``
+        (the former hardcoded 120 s queue wait) fails every incomplete
+        shard regardless of obligations.
+        """
+        now = time.monotonic()
+        policy = self.policy
+        failed: dict[int, str] = {}
+        for shard, proc in enumerate(self._procs):
+            if shard in self._done_shards:
+                continue
+            if not proc.is_alive():
+                failed[shard] = (
+                    f"worker died (exit code {proc.exitcode})"
+                )
+        if failed:
+            self._note("worker_deaths", value=len(failed))
+        else:
+            for idx, pend in enumerate(self._pending):
+                for shard in sorted(pend - self._done_shards):
+                    age = now - max(
+                        self._slab_sent[idx], self._last_seen[shard]
+                    )
+                    if age > policy.hang_timeout:
+                        failed.setdefault(
+                            shard,
+                            f"slab {idx} unacknowledged and no liveness "
+                            f"signal for {age:.1f}s",
+                        )
+            if self._finishing:
+                for shard in range(self.n_shards):
+                    quiet = now - self._last_seen[shard]
+                    if (
+                        shard not in self._done_shards
+                        and quiet > policy.hang_timeout
+                    ):
+                        failed.setdefault(
+                            shard,
+                            f"no liveness signal for {quiet:.1f}s "
+                            "while finishing",
+                        )
+            if not failed and now - quiet_since > policy.done_timeout:
+                for shard in range(self.n_shards):
+                    if shard not in self._done_shards:
+                        failed.setdefault(
+                            shard,
+                            "result queue silent beyond done_timeout="
+                            f"{policy.done_timeout}s",
+                        )
+            if failed:
+                self._note("hung_workers", value=len(failed))
+        if failed:
+            self._recover(failed)
+        return bool(failed)
+
+    def _recover(self, failed: dict) -> None:
+        """Retry failed shards, escalating when their budget is spent."""
+        if not self._supervised:
+            shard = min(failed)
+            raise ShardedDetectionError(
+                f"shard worker {shard} failed: {failed[shard]}",
+                shard=shard,
+            )
+        for shard in sorted(failed):
+            self._shard_retries[shard] += 1
+            if self._shard_retries[shard] > self.policy.max_shard_retries:
+                self._escalate(failed[shard])
+                return
+        self._total_retries += len(failed)
+        self._note(
+            "shard_retries", value=len(failed),
+            shards=sorted(failed), reasons=sorted(set(failed.values())),
+        )
+        delay = self.policy.backoff_delay(self._total_retries)
+        if delay > 0:
+            time.sleep(delay)
+        for shard in sorted(failed):
+            self._restart_shard(shard)
+
+    def _restart_shard(self, shard: int) -> None:
+        """Replace one worker and replay its partition from the journal."""
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=self.policy.join_timeout)
+        # release its ack obligations so the slab pool cannot starve on
+        # a worker that no longer exists; its replacement replays those
+        # rows from the journal without slab bookkeeping
+        for idx, pend in enumerate(self._pending):
+            if shard in pend:
+                pend.discard(shard)
+                if not pend and idx not in self._free_slabs:
+                    self._free_slabs.append(idx)
+        self._gen[shard] += 1
+        self._task_qs[shard] = self._ctx.SimpleQueue()
+        self._spawn(shard)
+        self._last_seen[shard] = time.monotonic()
+        self._replay(shard)
+
+    def _replay(self, shard: int) -> None:
+        """Resend the journal to a fresh worker, tables first."""
+        task_q = self._task_qs[shard]
+        names_sfx: tuple = ()
+        sigs_sfx: tuple = ()
+        # prefix up to the *published* watermark only: a suffix computed
+        # for a batch still being dispatched ships with that batch's
+        # first piece, and must reach the replacement exactly once
+        if self._strings is not None and self._names_pub > 1:
+            names_sfx = tuple(self._strings.values[1:self._names_pub])
+        if self._sigs_pub > 1:
+            sigs_sfx = tuple(self._sig_tuples[1:self._sigs_pub])
+        for path in self._journal.entries:
+            task_q.put(("npy", path, names_sfx, sigs_sfx))
+            names_sfx = sigs_sfx = ()
+        if self._finishing:
+            task_q.put(("finish",))
+
+    def _escalate(self, reason: str) -> None:
+        """Shard budget exhausted: restart the pool, then degrade."""
+        if self._pool_restarts < self.policy.max_pool_restarts:
+            self._pool_restarts += 1
+            self._note("pool_restarts", reason=reason)
+            incomplete = [
+                s for s in range(self.n_shards)
+                if s not in self._done_shards
+            ]
+            # a worker killed mid-write can die holding the shared
+            # result queue's write lock, silencing every survivor; the
+            # pool rung swaps in a fresh queue (replays make the lost
+            # in-flight messages moot) before replacing the workers
+            old_q = self._result_q
+            self._result_q = self._ctx.Queue()
+            for shard in incomplete:
+                self._shard_retries[shard] = 0
+                self._restart_shard(shard)
+            try:
+                old_q.close()
+            except OSError as exc:  # pragma: no cover - OS dependent
+                self._cleanup_failure(f"closing stale result queue: {exc}")
+            return
+        if self.policy.degrade:
+            self._degrade(reason)
+            return
+        raise ShardedDetectionError(
+            f"shard recovery budget exhausted: {reason}"
+        )
+
+    def _degrade(self, reason: str) -> None:
+        """Last rung: finish the incomplete shards in-process, serially.
+
+        One :class:`VectorizedProfiler` replays the journal filtered to
+        the union of incomplete shard classes — a coarser cell of the
+        same ``addr % n_shards`` partition, so its store/frontier equal
+        the merge of the per-shard results bit-for-bit.  Completed
+        shards keep their already-received payloads.
+        """
+        self._note("degraded", reason=reason)
+        warnings.warn(
+            "sharded detection degraded to in-process serial vectorized "
+            f"detection: {reason}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=self.policy.join_timeout)
+        self._release_slabs()
+        incomplete = [
+            s for s in range(self.n_shards) if s not in self._done_shards
+        ]
+        self._serial_shards = np.array(incomplete, dtype=np.int64)
+        serial = VectorizedProfiler(
+            self.worker_slots,
+            self._sig_decoder,
+            lifetime_analysis=self.lifetime_analysis,
+            track_control=False,
+        )
+        self._degraded = serial
+        for path in self._journal.entries:
+            rows = np.load(path, mmap_mode="r")
+            self._feed_serial(rows)
+
+    def _feed_serial(self, rows: np.ndarray) -> None:
+        """Run the degraded profiler over the incomplete shards' rows."""
+        part = rows[
+            multi_shard_mask(rows, self.n_shards, self._serial_shards)
+        ]
+        if part.shape[0]:
+            self._degraded.process_chunk(EventChunk(part, self._strings))
 
     def _pump_result(self, block: bool):
-        import queue as queue_mod
+        """Consume one meaningful worker message (ack or done).
 
+        Supervised runs poll at ``policy.poll_interval`` and run the
+        liveness check on every quiet tick; legacy runs block up to
+        ``policy.done_timeout`` per wait (formerly hardcoded 120 s) and
+        raise if a worker died.  Messages from replaced worker
+        generations are discarded.  Returns None after a recovery
+        action (callers re-check their wait condition) and on
+        degradation.
+        """
+        supervised = self._supervised
+        policy = self.policy
+        timeout = (
+            policy.poll_interval if supervised else policy.done_timeout
+        )
+        last_msg = time.monotonic()
         while True:
+            if self._degraded is not None:
+                return None
             try:
                 msg = self._result_q.get(
-                    block=block, timeout=120 if block else None
+                    block=block, timeout=timeout if block else None
                 )
             except queue_mod.Empty:
-                if block and any(not p.is_alive() for p in self._procs):
+                if not block:
+                    return None
+                if supervised:
+                    if self._check_liveness(last_msg):
+                        # recovery ran: a restart may have freed slabs
+                        # with no message in flight — unwind so the
+                        # caller re-checks what it is waiting for
+                        return None
+                    continue
+                if any(not p.is_alive() for p in self._procs):
                     raise ShardedDetectionError(
                         "a shard worker died without reporting"
                     ) from None
-                if block:
-                    continue
-                return None
-            if msg[0] == "ack":
-                _, idx, _shard = msg
-                self._pending[idx] -= 1
-                if self._pending[idx] == 0:
+                continue
+            last_msg = time.monotonic()
+            kind = msg[0]
+            if kind == "hb":
+                _, shard, gen = msg
+                if gen == self._gen[shard]:
+                    self._last_seen[shard] = time.monotonic()
+                continue
+            if kind == "ack":
+                _, idx, shard, gen = msg
+                if gen != self._gen[shard]:
+                    continue  # stale ack from a replaced worker
+                self._last_seen[shard] = time.monotonic()
+                pend = self._pending[idx]
+                pend.discard(shard)
+                if not pend and idx not in self._free_slabs:
                     self._free_slabs.append(idx)
                 if not block:
                     continue
                 return msg
-            if msg[0] == "error":
-                obs = msg[3] if len(msg) > 3 else {}
-                spans = obs.get("spans")
+            if kind == "error":
+                _, shard, gen, tb, obs = msg
+                spans = (obs or {}).get("spans")
                 if spans and self._tracer is not None:
                     # keep what the dying worker recorded on the parent
                     # timeline: a later export shows its final activity
                     self._tracer.absorb(spans)
-                raise ShardedDetectionError(
-                    f"shard worker {msg[1]} failed:\n{msg[2]}",
-                    shard=msg[1],
-                    worker_metrics=obs.get("metrics"),
-                    worker_spans=spans,
-                )
+                if gen != self._gen[shard] or shard in self._done_shards:
+                    continue
+                if not supervised:
+                    raise ShardedDetectionError(
+                        f"shard worker {shard} failed:\n{tb}",
+                        shard=shard,
+                        worker_metrics=(obs or {}).get("metrics"),
+                        worker_spans=spans,
+                    )
+                self._note("worker_errors", shard=shard)
+                self._recover({shard: f"worker raised:\n{tb}"})
+                return None
+            if kind == "done":
+                _, shard, gen, payload = msg
+                if gen != self._gen[shard] or shard in self._done_shards:
+                    continue
+                self._last_seen[shard] = time.monotonic()
+                if not self._valid_payload(payload):
+                    if not supervised:
+                        raise ShardedDetectionError(
+                            f"shard worker {shard} returned a corrupt "
+                            "done payload",
+                            shard=shard,
+                        )
+                    self._note("bad_payloads", shard=shard)
+                    self._recover({shard: "corrupt done payload"})
+                    return None
+                self._done_shards.add(shard)
+                self._payloads[shard] = payload
+                return msg
             return msg
 
-    def _acquire_slab(self) -> int:
+    def _acquire_slab(self) -> Optional[int]:
+        """Pop a free slab, pumping results while the pool is saturated.
+
+        Returns None if the run degraded while waiting — the caller
+        feeds the remaining rows straight to the serial profiler.
+        """
         if not self._free_slabs and self._tracer is not None:
             with self._tracer.span(
                 "slab.wait", "detect", free=len(self._free_slabs)
             ):
                 while not self._free_slabs:
+                    if self._degraded is not None:
+                        return None
                     self._pump_result(block=True)
         while not self._free_slabs:
+            if self._degraded is not None:
+                return None
             self._pump_result(block=True)
         return self._free_slabs.pop()
 
@@ -853,7 +1342,11 @@ class ShardedDetector:
                 rows = data["rows"]
         if rows.shape[0] == 0:
             return
-        if self.sampler is not None or not path.endswith(".npy"):
+        if (
+            self.sampler is not None
+            or not path.endswith(".npy")
+            or self._degraded is not None
+        ):
             self._dispatch(np.asarray(rows))
             return
         self._ensure_workers()
@@ -872,8 +1365,12 @@ class ShardedDetector:
             self._metrics.counter(
                 "detect.shipped_events", "event rows shipped to workers"
             ).inc(int(rows.shape[0]))
+        if self._journal is not None:
+            self._journal.record_segment(path)
         for task_q in self._task_qs:
             task_q.put(("npy", path, names_sfx, sigs_sfx))
+        self._names_pub = self._names_sent
+        self._sigs_pub = self._sigs_sent
 
     def _bookkeep(self, rows: np.ndarray) -> None:
         kinds = rows[:, COL_KIND]
@@ -890,6 +1387,17 @@ class ShardedDetector:
             )
 
     def _dispatch(self, rows: np.ndarray) -> None:
+        if self._degraded is not None:
+            # serial fallback: same bookkeeping + sampling, then feed
+            # the incomplete shards' partition to the in-process profiler
+            self._bookkeep(rows)
+            if self.sampler is not None:
+                rows = self.sampler.filter(rows)
+                if rows.shape[0] == 0:
+                    return
+            self.shipped_events += rows.shape[0]
+            self._feed_serial(rows)
+            return
         self._ensure_workers()
         self._bookkeep(rows)
         if self.sampler is not None:
@@ -905,15 +1413,26 @@ class ShardedDetector:
         for start in range(0, rows.shape[0], self.slab_rows):
             piece = rows[start: start + self.slab_rows]
             idx = self._acquire_slab()
+            if idx is None:
+                # degraded while waiting: the journal already holds
+                # every published piece (replayed by _degrade), so only
+                # the unpublished remainder goes to the serial profiler
+                self._feed_serial(rows[start:])
+                return
             n = piece.shape[0]
+            if self._journal is not None:
+                self._journal.record_rows(piece)
             if self._tracer is not None:
                 self._tracer.begin("slab.ship", "detect", rows=n, slab=idx)
             self._views[idx][:n] = piece
-            self._pending[idx] = self.n_shards
+            self._pending[idx] = set(range(self.n_shards))
+            self._slab_sent[idx] = time.monotonic()
             msg = ("rows", idx, n, names_sfx, sigs_sfx)
             names_sfx = sigs_sfx = ()  # suffixes ship once, in order
             for task_q in self._task_qs:
                 task_q.put(msg)
+            self._names_pub = self._names_sent
+            self._sigs_pub = self._sigs_sent
             if self._tracer is not None:
                 self._tracer.end()
             if self._metrics is not None:
@@ -927,28 +1446,10 @@ class ShardedDetector:
 
     # -- completion ----------------------------------------------------
 
-    def finalize(self) -> DependenceStore:
-        """Drain, join the workers, merge stores + frontiers (§2.3.5)."""
-        if self._finalized:
-            return self.store
-        self.flush()
-        if self._procs is None:
-            # nothing ever shipped
-            self.frontier = ShadowFrontier()
-            self._finalized = True
-            return self.store
-        for task_q in self._task_qs:
-            task_q.put(("finish",))
-        if self._tracer is not None:
-            self._tracer.begin("detect.merge", "detect")
-        frontier_parts: list[ShadowFrontier] = []
-        done = 0
-        while done < self.n_shards:
-            msg = self._pump_result(block=True)
-            if msg is None or msg[0] != "done":
-                continue
-            shard, payload = msg[1], msg[2]
-            # streaming merge: each shard folds in as it reports
+    def _merge_done(self, frontier_parts: list, merged: set) -> None:
+        """Fold newly arrived shard payloads in (streaming merge)."""
+        for shard in sorted(self._done_shards - merged):
+            payload = self._payloads.pop(shard)
             self.store.merge_from(payload["store"])
             frontier_parts.append(
                 _frontier_from_arrays(payload["frontier"])
@@ -962,10 +1463,50 @@ class ShardedDetector:
                 self._metrics.merge(
                     payload["metrics"], prefix=f"detect.shard{shard}."
                 )
-            done += 1
+            merged.add(shard)
+
+    def finalize(self) -> DependenceStore:
+        """Drain, join the workers, merge stores + frontiers (§2.3.5)."""
+        if self._finalized:
+            return self.store
+        self.flush()
+        if self._procs is None and self._degraded is None:
+            # nothing ever shipped
+            self.frontier = ShadowFrontier()
+            self._finalized = True
+            return self.store
+        frontier_parts: list[ShadowFrontier] = []
+        merged: set[int] = set()
+        if self._degraded is None:
+            self._finishing = True
+            now = time.monotonic()
+            for shard in range(self.n_shards):
+                # fresh grace period: the finish drain starts the clock
+                self._last_seen[shard] = max(self._last_seen[shard], now)
+                self._task_qs[shard].put(("finish",))
+            if self._tracer is not None:
+                self._tracer.begin("detect.merge", "detect")
+            while (
+                len(self._done_shards) < self.n_shards
+                and self._degraded is None
+            ):
+                self._pump_result(block=True)
+                # streaming merge: each shard folds in as it reports
+                self._merge_done(frontier_parts, merged)
+            if self._tracer is not None:
+                self._tracer.end()
+        # payloads that arrived before a mid-drain degradation still
+        # count — the serial profiler covered only the incomplete shards
+        self._merge_done(frontier_parts, merged)
+        if self._degraded is not None:
+            serial = self._degraded
+            serial.flush()
+            self.store.merge_from(serial.store)
+            frontier_parts.append(serial.frontier)
+            self.stats.deps_built += serial.stats.deps_built
+            self.collisions += serial.collisions
+            self.worker_memory_bytes += serial.memory_bytes()
         self.frontier = merge_frontiers(frontier_parts)
-        if self._tracer is not None:
-            self._tracer.end()
         if self._metrics is not None and self.sampler is not None:
             self._metrics.counter(
                 "detect.sampled_kept", "rows kept by the read sampler"
@@ -973,15 +1514,33 @@ class ShardedDetector:
             self._metrics.counter(
                 "detect.sampled_total", "rows offered to the read sampler"
             ).inc(self.sampler.total_events)
-        for proc in self._procs:
-            proc.join(timeout=30)
-        self._result_q.close()
+        if self._procs is not None:
+            for proc in self._procs:
+                proc.join(timeout=self.policy.join_timeout)
+            self._result_q.close()
         self._release_slabs()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
         self._finalized = True
         return self.store
 
     def result(self) -> DependenceStore:
         return self.finalize()
+
+    def _cleanup_failure(self, detail: str) -> None:
+        """Cleanup failures are reported, not swallowed."""
+        self.recovery["cleanup_failures"] += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "resilience.cleanup_failures",
+                "sharded-detector teardown steps that failed",
+            ).inc()
+        warnings.warn(
+            f"sharded-detector cleanup failure: {detail}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _release_slabs(self) -> None:
         self._views = []
@@ -989,25 +1548,54 @@ class ShardedDetector:
             try:
                 slab.close()
                 slab.unlink()
-            except OSError:  # pragma: no cover - double close
-                pass
+            except OSError as exc:
+                self._cleanup_failure(
+                    f"releasing shared-memory slab {slab.name}: {exc}"
+                )
         self._slabs = []
+        self._free_slabs = []
 
-    def close(self) -> None:
-        """Abandon the run: kill workers, release shared memory."""
+    def abort(self) -> None:
+        """Abandon the run: kill workers, release shared memory.
+
+        Unlike :meth:`finalize` this discards all in-flight work.  Every
+        teardown step that fails is logged via ``warnings`` and the
+        ``resilience.cleanup_failures`` metric rather than swallowed;
+        the shm-leak test scans ``/dev/shm`` for :attr:`shm_prefix` to
+        prove nothing survives an abort after a mid-run worker kill.
+        """
         if self._procs is not None and not self._finalized:
             for proc in self._procs:
-                if proc.is_alive():
-                    proc.terminate()
+                try:
+                    if proc.is_alive():
+                        proc.terminate()
+                except OSError as exc:  # pragma: no cover - OS dependent
+                    self._cleanup_failure(f"terminating worker: {exc}")
             for proc in self._procs:
-                proc.join(timeout=5)
+                try:
+                    proc.join(timeout=self.policy.join_timeout)
+                except (OSError, AssertionError) as exc:
+                    # pragma: no cover - OS dependent
+                    self._cleanup_failure(f"joining worker: {exc}")
+            try:
+                self._result_q.close()
+            except OSError as exc:  # pragma: no cover - OS dependent
+                self._cleanup_failure(f"closing result queue: {exc}")
             self._release_slabs()
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
             self._finalized = True
+
+    def close(self) -> None:
+        """Alias of :meth:`abort` (the historical name)."""
+        self.abort()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
-            self.close()
+            self.abort()
         except Exception:
+            # interpreter teardown: warnings/queues may already be gone
             pass
 
     # ------------------------------------------------------------------

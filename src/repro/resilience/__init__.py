@@ -1,0 +1,34 @@
+"""Fault tolerance for discovery runs.
+
+Two halves, both deterministic:
+
+- :mod:`repro.resilience.policy` — :class:`RetryPolicy`, the supervision
+  knobs (attempt budgets, seeded-jitter backoff, per-stage timeouts) that
+  drive the sharded detector's recovery ladder
+  (retry shard -> restart pool -> degrade to in-process serial detection).
+- :mod:`repro.resilience.faults` — :class:`FaultPlan`, a seeded schedule
+  of injected failures (worker kills, hangs, dropped slab acks, corrupted
+  done payloads, phase-scoped raises) so every recovery path has a
+  reproducible test. Production runs never construct one.
+
+See docs/RESILIENCE.md for the full ladder, fault taxonomy, and the
+``resilience.*`` metric/span catalog.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjected,
+    FaultPlan,
+    WorkerFaultInjector,
+)
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultPlan",
+    "RetryPolicy",
+    "WorkerFaultInjector",
+]
