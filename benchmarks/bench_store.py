@@ -1,0 +1,52 @@
+"""Artifact-store bench: the crash-safe concurrency torture gates.
+
+Seeds ``benchmarks/out/BENCH_store.json`` — the artifact
+``repro bench --suite store`` also produces.  Runs concurrent batch
+runners against one shared resume dir under the store fault schedules
+(kill mid-write, torn tmp published against a full checksum, stale
+lease left by a dead pid, silent checksum flip) and gates the store
+contract: every schedule converges to a store bit-identical to a clean
+single-writer reference, corrupt entries are quarantined to
+``.corrupt-N/`` and recomputed rather than served, no torn read or
+leftover tmp survives, and concurrent writers dedupe work on shared
+keys instead of double-computing (docs/RESILIENCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.engine.bench import format_store_table, run_store_bench
+
+
+def test_store_torture(benchmark):
+    result = benchmark.pedantic(
+        run_store_bench,
+        rounds=1,
+        iterations=1,
+    )
+    emit("BENCH_store", format_store_table(result))
+    (OUT_DIR / "BENCH_store.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    # damage must be invisible in the output (bit-identical stores,
+    # corruption healed, nothing torn) and concurrency must dedupe
+    assert result["all_stores_identical"]
+    assert result["all_rows_ok"] and result["all_exits_ok"]
+    assert result["healed_corruptions"] >= 2
+    assert result["torn_reads"] == 0
+    assert result["computed_once"]
+    assert result["lock_steals"] >= 1
+    assert result["min_concurrent_writers"] >= 2
+
+
+if __name__ == "__main__":
+    result = run_store_bench()
+    print(format_store_table(result))
+    (OUT_DIR / "BENCH_store.json").write_text(
+        json.dumps(result, indent=1) + "\n"
+    )
+    (OUT_DIR / "BENCH_store.txt").write_text(
+        format_store_table(result) + "\n"
+    )

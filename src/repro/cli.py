@@ -19,6 +19,11 @@ The unified ``repro`` command drives the staged engine::
     repro bench    --suite vm --quick # compiled vs switch dispatch cores
     repro bench    --suite detect     # vectorized vs loop detection cores
     repro bench    --suite obs --quick # observability disabled-cost gate
+    repro bench    --suite store --quick # artifact-store torture gates
+    repro batch    fib sort --resume ckpt/   # checkpointing, crash-safe
+    repro store    stats ckpt/        # per-key size / last-access / locks
+    repro store    verify ckpt/ --heal  # sha256 audit, quarantine corrupt
+    repro store    gc ckpt/ --max-bytes 50000000  # LRU eviction
 
 Every subcommand supports ``--format json`` (machine-readable artifact
 dicts, see :mod:`repro.engine.artifacts`) and ``--save PATH`` to persist
@@ -497,6 +502,8 @@ def cmd_bench(args) -> int:
         return _bench_obs(args)
     if args.suite == "faults":
         return _bench_faults(args)
+    if args.suite == "store":
+        return _bench_store(args)
     from repro.engine.bench import format_pipeline_table, run_pipeline_bench
 
     result = run_pipeline_bench(
@@ -771,6 +778,133 @@ def _bench_faults(args) -> int:
     return 0
 
 
+def _bench_store(args) -> int:
+    """``repro bench --suite store``: the crash-safe store torture gates.
+
+    Every fault schedule (kill mid-write, torn tmp, stale lease,
+    checksum flip) must end — under ≥2 concurrent batch runners — with
+    a store bit-identical to the clean single-writer reference, all
+    rows ok, zero torn reads or leftover tmp files, the planted
+    corruptions healed through ``.corrupt-N/`` quarantine, and clean
+    concurrency deduping instead of double-computing.  All hard gates,
+    quick mode or not.
+    """
+    from repro.engine.bench import format_store_table, run_store_bench
+
+    result = run_store_bench(
+        quick=args.quick,
+        seed=args.seed if getattr(args, "seed", None) is not None else 0,
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=1))
+    else:
+        print(format_store_table(result))
+    with open(args.save, "w") as handle:
+        json.dump(result, handle, indent=1)
+    print(f"; saved store bench -> {args.save}", file=sys.stderr)
+    failures = []
+    if not result["reference_ok"]:
+        failures.append("the clean reference run itself failed")
+    if not result["all_stores_identical"]:
+        failures.append(
+            "a schedule's store differs from the single-writer reference"
+        )
+    if not result["all_rows_ok"]:
+        failures.append("a batch runner reported a failed row")
+    if not result["all_exits_ok"]:
+        failures.append("a writer exited abnormally (beyond planned kills)")
+    if result["torn_reads"] != 0:
+        failures.append(f"{result['torn_reads']} torn reads/leftover tmps")
+    if result["healed_corruptions"] < 2:
+        failures.append(
+            f"expected >=2 healed corruptions, saw "
+            f"{result['healed_corruptions']}"
+        )
+    if result["lock_steals"] < 1:
+        failures.append("the planted stale lease was never taken over")
+    if not result["computed_once"]:
+        failures.append("concurrent writers double-computed a key")
+    if result["min_concurrent_writers"] < 2:
+        failures.append("a schedule ran with fewer than 2 writers")
+    for reason in failures:
+        print(f"; FAIL: {reason}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_store(args) -> int:
+    """``repro store stats|verify|gc DIR``: artifact-store maintenance."""
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.dir, lock_backend=args.lock_backend)
+    if args.action == "stats":
+        result = store.stats()
+        if args.format == "json":
+            print(json.dumps(result, indent=1))
+        else:
+            header = (
+                f"{'key':<26} {'entries':>7} {'bytes':>10} {'locked':>6} "
+                f"{'last access':>19}"
+            )
+            lines = [header, "-" * len(header)]
+            for row in result["rows"]:
+                import datetime
+
+                when = (
+                    datetime.datetime.fromtimestamp(row["last_access"])
+                    .strftime("%Y-%m-%d %H:%M:%S")
+                    if row["last_access"]
+                    else "-"
+                )
+                lines.append(
+                    f"{row['key']:<26} {row['entries']:>7} "
+                    f"{row['bytes']:>10} "
+                    f"{'y' if row['locked'] else '-':>6} {when:>19}"
+                )
+            lines.append(
+                f"{result['keys']} keys, {result['total_bytes']} bytes"
+            )
+            print("\n".join(lines))
+        return 0
+    if args.action == "verify":
+        result = store.verify(heal=args.heal)
+        if args.format == "json":
+            print(json.dumps(result, indent=1))
+        else:
+            print(
+                f"{result['keys']} keys, {result['entries']} entries: "
+                f"{result['corrupt']} corrupt, {result['missing']} missing, "
+                f"{result['torn_tmps']} torn tmps, "
+                f"{result['untracked']} untracked"
+                + (f"; healed {result['healed']}" if args.heal else "")
+            )
+        # unhealed corruption fails the check (CI runs this); --heal
+        # quarantines everything it finds, so the tree is clean again
+        if args.heal:
+            bad = result["corrupt"] - result["healed"]
+        else:
+            bad = result["corrupt"] + result["torn_tmps"]
+        return 1 if bad else 0
+    # gc
+    if args.max_bytes is None:
+        raise SystemExit("error: repro store gc requires --max-bytes")
+    result = store.gc(args.max_bytes, dry_run=args.dry_run)
+    if args.format == "json":
+        print(json.dumps(result, indent=1))
+    else:
+        verb = "would evict" if args.dry_run else "evicted"
+        print(
+            f"{result['before_bytes']} -> {result['after_bytes']} bytes "
+            f"(cap {result['max_bytes']}); {verb} "
+            f"{len(result['evicted'])} keys"
+            + (
+                f", skipped {len(result['skipped_locked'])} locked"
+                if result["skipped_locked"]
+                else ""
+            )
+        )
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.engine import DiscoveryEngine, DiscoveryResult
 
@@ -955,7 +1089,8 @@ def main(argv=None) -> int:
     p.add_argument("workloads", nargs="*",
                    help="registry workloads (default: the suite's trio)")
     p.add_argument("--suite",
-                   choices=("pipeline", "vm", "detect", "obs", "faults"),
+                   choices=("pipeline", "vm", "detect", "obs", "faults",
+                            "store"),
                    default="pipeline",
                    help="pipeline: tuple vs columnar chunks; "
                         "vm: switch vs compiled dispatch; "
@@ -963,7 +1098,10 @@ def main(argv=None) -> int:
                         "obs: observability overhead (disabled-cost gate); "
                         "faults: deterministic fault matrix against the "
                         "supervised sharded core (recovery + store "
-                        "identity gates)")
+                        "identity gates); "
+                        "store: artifact-store torture — concurrent "
+                        "writers under kill/torn/lease/checksum faults "
+                        "(convergence + healing + zero-torn-read gates)")
     p.add_argument("--seed", type=int, default=0,
                    help="faults suite: seed of the scattered schedules")
     p.add_argument("--scale", type=int, default=None,
@@ -1043,6 +1181,31 @@ def main(argv=None) -> int:
                         "its own killable process)")
     _add_output_options(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "store",
+        help="artifact-store maintenance: stats, integrity verify, GC",
+    )
+    p.add_argument("action", choices=("stats", "verify", "gc"),
+                   help="stats: per-key size/last-access/lock table; "
+                        "verify: check every artifact against its sha256 "
+                        "sidecar (exit 1 on unhealed corruption); "
+                        "gc: evict least-recently-used keys down to "
+                        "--max-bytes, skipping locked/in-flight ones")
+    p.add_argument("dir", help="store root (a batch --resume directory)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="gc: target store size in bytes")
+    p.add_argument("--dry-run", action="store_true",
+                   help="gc: report evictions without deleting")
+    p.add_argument("--heal", action="store_true",
+                   help="verify: quarantine corrupt entries to "
+                        ".corrupt-N/ and sweep orphaned tmp files")
+    p.add_argument("--lock-backend", choices=("auto", "flock", "lease"),
+                   default="auto",
+                   help="advisory lock implementation "
+                        "(docs/RESILIENCE.md)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_store)
 
     args = parser.parse_args(argv)
     if args.command == "bench":

@@ -1,6 +1,6 @@
 """Performance benchmarks: the event pipeline, VM dispatch, detection.
 
-Five suites live here:
+Six suites live here:
 
 * **pipeline** (:func:`run_pipeline_bench`) — tuple vs. columnar chunk
   formats through the dependence profiler (the PR-2 trajectory seed,
@@ -36,6 +36,14 @@ Five suites live here:
   the serial vectorized reference, and that an unrecoverable schedule
   degrades to in-process detection — still bit-identical — instead of
   failing (``BENCH_faults.json``).
+* **store** (:func:`run_store_bench`) — the crash-safe artifact store
+  (:mod:`repro.store`): concurrent batch runners on one shared resume
+  dir under kill-mid-write, torn-write, stale-lease and checksum-flip
+  schedules, gating that every schedule converges to a store
+  bit-identical to a clean single-writer reference, that corrupt
+  entries are healed (quarantined + recomputed, never served), that no
+  torn read or leftover tmp survives, and that concurrent writers
+  dedupe instead of double-computing (``BENCH_store.json``).
 
 The pipeline suite measures the hottest consumer path — pushing the
 instrumentation event stream through the dependence profiler:
@@ -62,8 +70,10 @@ import resource
 import time
 import tracemalloc
 import warnings
+from typing import Optional
 
 from repro.profiler.serial import SerialProfiler
+from repro.resilience.faults import KILL_EXIT_CODE
 from repro.profiler.shadow import PerfectShadow, SignatureShadow
 from repro.runtime.events import TraceSink
 from repro.runtime.interpreter import VM
@@ -1457,5 +1467,453 @@ def format_faults_table(result: dict) -> str:
         f"stores "
         f"{'identical' if result['all_stores_identical'] else 'MISMATCHED'}"
         f"; degraded runs {result['degraded_runs']}"
+    )
+    return "\n".join(lines)
+
+
+# -- store suite: crash-safe concurrent artifact store -----------------
+
+#: two registry workloads with distinct keys, so two writers have real
+#: overlap (same keys, different order) without a long bench wall clock
+STORE_BENCH_WORKLOADS = ("fib", "sort")
+
+#: stable result-row fields: what a job *computed*, not how this
+#: particular writer got it (resumed/deduped/attempts/seconds differ)
+_STORE_ROW_FIELDS = (
+    "ok", "name", "return_value", "n_threads", "total_instructions",
+    "deps", "loops", "parallelizable_loops", "suggestions", "kinds", "top",
+)
+
+#: per-artifact volatility: stats keys that legitimately differ run-to-run
+_STORE_VOLATILE_STAT_MARKERS = ("seconds", "per_sec")
+
+
+def _store_canonical_json(name: str, text: str):
+    """Reduce one JSON artifact to its run-invariant content."""
+    import json as _json
+
+    data = _json.loads(text)
+    if name == "result.json":
+        return {k: data.get(k) for k in _STORE_ROW_FIELDS}
+    if name == "profile.json" and isinstance(data.get("stats"), dict):
+        data = dict(data)
+        data["stats"] = {
+            k: v
+            for k, v in data["stats"].items()
+            if not any(m in k for m in _STORE_VOLATILE_STAT_MARKERS)
+        }
+    return data
+
+
+def _store_artifact_digest(path: str, name: str) -> str:
+    """Content digest of one artifact, ignoring volatile bytes.
+
+    ``trace.npz`` is hashed by loaded array contents (the zip container
+    embeds timestamps); JSON artifacts are canonicalized first.
+    """
+    import hashlib
+    import json as _json
+
+    import numpy as np
+
+    digest = hashlib.sha256()
+    if name.endswith(".npz"):
+        with np.load(path, allow_pickle=False) as archive:
+            for key in sorted(archive.files):
+                arr = archive[key]
+                digest.update(key.encode())
+                digest.update(str(arr.dtype).encode())
+                digest.update(str(arr.shape).encode())
+                digest.update(np.ascontiguousarray(arr).tobytes())
+        return digest.hexdigest()
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if name.endswith(".json"):
+        canonical = _json.dumps(
+            _store_canonical_json(name, text), sort_keys=True
+        )
+        digest.update(canonical.encode())
+    else:
+        digest.update(text.encode())
+    return digest.hexdigest()
+
+
+#: artifacts that never converge across writers, excluded from identity
+_STORE_IDENTITY_EXCLUDED = ("config.json", "attempts.json", "manifest.json")
+
+
+def _store_state(root: str) -> dict:
+    """``{key: {artifact: digest}}`` canonical content of a whole store."""
+    import os
+
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(root)
+    state = {}
+    for key in store.keys():
+        key_dir = store.key_dir(key)
+        entries = {}
+        for name in sorted(os.listdir(key_dir)):
+            path = os.path.join(key_dir, name)
+            if (
+                name.startswith(".")
+                or ".tmp-" in name
+                or name in _STORE_IDENTITY_EXCLUDED
+                or not os.path.isfile(path)
+            ):
+                continue
+            entries[name] = _store_artifact_digest(path, name)
+        state[key] = entries
+    return state
+
+
+def _store_healed_count(root: str) -> int:
+    """Quarantined artifacts across the store (files under .corrupt-N/)."""
+    import glob
+    import os
+
+    return sum(
+        1
+        for path in glob.glob(os.path.join(root, "*", ".corrupt-*", "*"))
+        if os.path.isfile(path)
+    )
+
+
+def _store_tmp_count(root: str) -> int:
+    import glob
+    import os
+
+    return sum(
+        1
+        for path in glob.glob(os.path.join(root, "**", "*"), recursive=True)
+        if ".tmp-" in os.path.basename(path) and os.path.isfile(path)
+    )
+
+
+def _store_bench_jobs(faulty: Optional[dict] = None) -> list:
+    """One job per bench workload; ``faulty`` maps workload -> fault plan."""
+    from repro.engine.batch import job_for_workload
+
+    jobs = []
+    for name in STORE_BENCH_WORKLOADS:
+        overrides = {"obs": "metrics"}
+        if faulty and name in faulty:
+            overrides["fault_plan"] = faulty[name]
+        jobs.append(job_for_workload(name, **overrides))
+    return jobs
+
+
+def _store_bench_writer(jobs, resume_dir, queue, store_options) -> None:
+    """Process entry point: one concurrent batch runner."""
+    from repro.engine.batch import run_batch
+
+    queue.put(
+        run_batch(
+            jobs,
+            jobs_parallel=1,
+            resume_dir=resume_dir,
+            store_options=store_options,
+        )
+    )
+
+
+def _store_run_writers(
+    writer_jobs: list, resume_dir: str, store_options: Optional[dict] = None
+) -> tuple:
+    """Run one batch-runner process per job list; returns (rows, exits).
+
+    A writer killed by an injected fault reports no rows (``None`` in
+    that slot) and its exit code carries
+    :data:`~repro.resilience.faults.KILL_EXIT_CODE`.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    procs, queues = [], []
+    for jobs in writer_jobs:
+        queue = ctx.SimpleQueue()
+        proc = ctx.Process(
+            target=_store_bench_writer,
+            args=(jobs, resume_dir, queue, store_options),
+            daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+        queues.append(queue)
+    rows, exits = [], []
+    for proc, queue in zip(procs, queues):
+        proc.join(timeout=600)
+        if proc.is_alive():  # defensive: a wedged writer fails the gate
+            proc.kill()
+            proc.join()
+        exits.append(proc.exitcode)
+        rows.append(queue.get() if not queue.empty() else None)
+    return rows, exits
+
+
+def _store_case_summary(
+    schedule: str,
+    root: str,
+    reference: dict,
+    all_rows: list,
+    *,
+    writers: int,
+    expected_kill_exits: int = 0,
+    exits: Optional[list] = None,
+    t0: float = 0.0,
+) -> dict:
+    """Post-schedule audit: convergence, healing, torn reads, metrics."""
+    from repro.store import ArtifactStore
+
+    rows = [r for batch in all_rows if batch for r in batch]
+    report = ArtifactStore(root).verify()
+    kill_exits = sum(1 for code in (exits or []) if code == KILL_EXIT_CODE)
+    counters: dict = {}
+    for row in rows:
+        for name, value in row.get("store_counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+    # a torn read would surface as a failed row, a verify-corrupt entry,
+    # or a tmp file left under a final-looking tree
+    torn_reads = (
+        sum(1 for r in rows if not r.get("ok"))
+        + report["corrupt"]
+        + _store_tmp_count(root)
+    )
+    return {
+        "schedule": schedule,
+        "writers": writers,
+        "rows": len(rows),
+        "rows_ok": all(r.get("ok") for r in rows) and bool(rows),
+        "deduped": sum(1 for r in rows if r.get("deduped")),
+        "computed": sum(1 for r in rows if r.get("phases_run")),
+        "kill_exits": kill_exits,
+        "expected_kill_exits": expected_kill_exits,
+        "exits_ok": kill_exits == expected_kill_exits
+        and all(
+            code in (0, KILL_EXIT_CODE) for code in (exits or [])
+        ),
+        "healed": _store_healed_count(root),
+        "torn_reads": torn_reads,
+        "store_identical": _store_state(root) == reference,
+        "lock_waits": counters.get("store.lock_waits", 0),
+        "lock_steals": counters.get("store.lock_steals", 0),
+        "tmps_swept": counters.get("store.torn_tmp_cleaned", 0),
+        "seconds": round(time.perf_counter() - t0, 3),
+    }
+
+
+def run_store_bench(*, quick: bool = False, seed: int = 0) -> dict:
+    """Torture the artifact store under concurrent writers + faults.
+
+    Five schedules, each ending with ≥2 concurrent batch runners on one
+    shared resume dir (``BENCH_store.json``):
+
+    * ``concurrent_clean`` — two runners, same keys in opposite order:
+      every key computed exactly once, the latecomer dedupes.
+    * ``kill_mid_write`` — a runner dies (``os._exit``) mid-``detect``
+      publish, leaving a torn tmp; two clean runners then converge and
+      sweep the orphan, and the killed runner's rerun fully dedupes.
+    * ``torn_tmp`` — a runner publishes a truncated ``result.json``
+      against its full-payload checksum; the next runners quarantine it
+      to ``.corrupt-N/`` and recompute.
+    * ``stale_lease`` — lease lock backend with a dead-pid lease planted
+      on a key: deterministic takeover, counted on ``store.lock_steals``.
+    * ``checksum_flip`` — a byte of a published ``detect.json`` flipped
+      on disk (and the finished row removed): verified restore heals the
+      poisoned artifact and recomputes from the surviving prefix.
+
+    Gates: every schedule's final store is bit-identical (canonicalized
+    content) to a clean single-writer reference, all rows ok, zero torn
+    reads/leftover tmps, ≥2 total healed corruptions, ≥1 lease steal,
+    and clean-schedule keys computed exactly once.  ``quick`` is
+    accepted for CLI symmetry; the matrix is already the minimal one.
+    """
+    import json as _json
+    import shutil
+    import tempfile
+
+    from repro.engine.batch import config_for_job, run_batch
+    from repro.engine.checkpoint import job_key
+    from repro.resilience.faults import FaultPlan, plant_stale_lease
+    from repro.store import ArtifactStore
+
+    keys = {
+        name: job_key(config_for_job(job))
+        for name, job in zip(STORE_BENCH_WORKLOADS, _store_bench_jobs())
+    }
+    first = STORE_BENCH_WORKLOADS[0]
+
+    roots = []
+
+    def new_root(tag: str) -> str:
+        root = tempfile.mkdtemp(prefix=f"repro-store-bench-{tag}-")
+        roots.append(root)
+        return root
+
+    cases = []
+    try:
+        ref_dir = new_root("ref")
+        t0 = time.perf_counter()
+        ref_rows = run_batch(
+            _store_bench_jobs(), jobs_parallel=1, resume_dir=ref_dir
+        )
+        reference = _store_state(ref_dir)
+        reference_ok = all(r.get("ok") for r in ref_rows)
+        ref_seconds = round(time.perf_counter() - t0, 3)
+
+        jobs_fwd = _store_bench_jobs()
+        jobs_rev = list(reversed(_store_bench_jobs()))
+
+        # 1. clean concurrency: dedupe instead of double-compute
+        t0 = time.perf_counter()
+        root = new_root("clean")
+        rows, exits = _store_run_writers([jobs_fwd, jobs_rev], root)
+        case = _store_case_summary(
+            "concurrent_clean", root, reference, rows,
+            writers=2, exits=exits, t0=t0,
+        )
+        flat = [r for batch in rows if batch for r in batch]
+        per_name: dict = {}
+        for row in flat:
+            if row.get("phases_run"):
+                per_name[row["name"]] = per_name.get(row["name"], 0) + 1
+        case["computed_once"] = bool(per_name) and all(
+            count == 1 for count in per_name.values()
+        )
+        cases.append(case)
+
+        # 2. kill -9 mid-write, then heal under concurrency, then rerun
+        t0 = time.perf_counter()
+        root = new_root("kill")
+        kill_plan = FaultPlan(
+            [{"kind": "kill_in_store_write", "artifact": "detect.json"}]
+        ).to_dict()
+        _rows1, exits1 = _store_run_writers(
+            [_store_bench_jobs({first: kill_plan})], root
+        )
+        rows2, exits2 = _store_run_writers([jobs_fwd, jobs_rev], root)
+        rows3, exits3 = _store_run_writers(
+            [_store_bench_jobs({first: kill_plan})], root
+        )
+        case = _store_case_summary(
+            "kill_mid_write", root, reference, rows2 + rows3,
+            writers=2, expected_kill_exits=1,
+            exits=exits1 + exits2 + exits3, t0=t0,
+        )
+        case["rerun_deduped"] = bool(rows3[0]) and all(
+            r.get("resumed") and r.get("phases_run") == [] for r in rows3[0]
+        )
+        cases.append(case)
+
+        # 3. torn write published against a full-payload checksum
+        t0 = time.perf_counter()
+        root = new_root("torn")
+        torn_plan = FaultPlan(
+            [{"kind": "torn_store_write", "artifact": "result.json"}]
+        ).to_dict()
+        _rows1, exits1 = _store_run_writers(
+            [_store_bench_jobs({first: torn_plan})], root
+        )
+        rows2, exits2 = _store_run_writers([jobs_fwd, jobs_rev], root)
+        cases.append(
+            _store_case_summary(
+                "torn_tmp", root, reference, rows2,
+                writers=2, exits=exits1 + exits2, t0=t0,
+            )
+        )
+
+        # 4. stale lease left by a dead pid: deterministic takeover
+        t0 = time.perf_counter()
+        root = new_root("lease")
+        lease_opts = {"lock_backend": "lease"}
+        plant_stale_lease(ArtifactStore(root).key_dir(keys[first]))
+        rows, exits = _store_run_writers(
+            [jobs_fwd, jobs_rev], root, store_options=lease_opts
+        )
+        case = _store_case_summary(
+            "stale_lease", root, reference, rows,
+            writers=2, exits=exits, t0=t0,
+        )
+        cases.append(case)
+
+        # 5. silent on-disk corruption of a published artifact
+        t0 = time.perf_counter()
+        root = new_root("flip")
+        rows1, exits1 = _store_run_writers([_store_bench_jobs()], root)
+        store = ArtifactStore(root)
+        key_dir = store.key_dir(keys[first])
+        from repro.resilience.faults import flip_artifact_byte
+
+        flip_artifact_byte(f"{key_dir}/detect.json")
+        import os as _os
+
+        _os.unlink(f"{key_dir}/result.json")
+        rows2, exits2 = _store_run_writers([jobs_fwd, jobs_rev], root)
+        case = _store_case_summary(
+            "checksum_flip", root, reference, rows2,
+            writers=2, exits=exits1 + exits2, t0=t0,
+        )
+        flat = [r for batch in rows2 if batch for r in batch]
+        case["healed_prefix_resume"] = any(
+            r["name"] == first and r.get("phases_restored") == ["profile", "cus"]
+            and r.get("phases_run") == ["detect", "rank"]
+            for r in flat
+        )
+        cases.append(case)
+    finally:
+        for root in roots:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "bench": "store",
+        "workloads": list(STORE_BENCH_WORKLOADS),
+        "keys": keys,
+        "reference_ok": reference_ok,
+        "reference_seconds": ref_seconds,
+        "cases": cases,
+        "all_stores_identical": all(c["store_identical"] for c in cases),
+        "all_rows_ok": all(c["rows_ok"] for c in cases),
+        "all_exits_ok": all(c["exits_ok"] for c in cases),
+        "healed_corruptions": sum(c["healed"] for c in cases),
+        "torn_reads": sum(c["torn_reads"] for c in cases),
+        "deduped_total": sum(c["deduped"] for c in cases),
+        "lock_waits": sum(c["lock_waits"] for c in cases),
+        "lock_steals": sum(c["lock_steals"] for c in cases),
+        "min_concurrent_writers": min(c["writers"] for c in cases),
+        "computed_once": all(
+            c.get("computed_once", True) for c in cases
+        ),
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "quick": quick,
+        "seed": seed,
+    }
+
+
+def format_store_table(result: dict) -> str:
+    """Fixed-width rendering in the benchmarks/out house style."""
+    header = (
+        f"{'schedule':<18} {'wr':>3} {'rows':>4} {'ok':>3} {'ident':>5} "
+        f"{'heal':>4} {'torn':>4} {'dedup':>5} {'waits':>5} {'steal':>5} "
+        f"{'s':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for case in result["cases"]:
+        lines.append(
+            f"{case['schedule']:<18} {case['writers']:>3} "
+            f"{case['rows']:>4} {'y' if case['rows_ok'] else 'N':>3} "
+            f"{'y' if case['store_identical'] else 'N':>5} "
+            f"{case['healed']:>4} {case['torn_reads']:>4} "
+            f"{case['deduped']:>5} {case['lock_waits']:>5} "
+            f"{case['lock_steals']:>5} {case['seconds']:>6.2f}"
+        )
+    lines.append(
+        f"{len(result['cases'])} schedules over "
+        f"{'+'.join(result['workloads'])}; stores "
+        f"{'identical' if result['all_stores_identical'] else 'MISMATCHED'}; "
+        f"healed {result['healed_corruptions']} corruptions; "
+        f"{result['torn_reads']} torn reads; "
+        f"{result['deduped_total']} deduped jobs, "
+        f"{result['lock_waits']} lock waits, "
+        f"{result['lock_steals']} steals"
     )
     return "\n".join(lines)

@@ -4,14 +4,16 @@ A :class:`JobCheckpoint` persists a discovery job's completed phase
 artifacts under ``<root>/<key>/`` where the key is *content-addressed*:
 ``sha256(source)[:12] + "-" + sha256(config-minus-identity)[:12]``.  Two
 jobs with the same source text and the same analysis-relevant config
-share a key — display ``name`` and the test-only ``fault_plan`` /
-``resilience`` supervision knobs deliberately do not participate, since
-they change how a run recovers, never what it computes.
+share a key — display ``name``, the test-only ``fault_plan`` /
+``resilience`` supervision knobs, and the ``obs`` mode deliberately do
+not participate, since they change how a run is labelled, recovered or
+observed, never what it computes (the obs bench hard-gates the last).
 
 Layout per job::
 
     config.json     the full DiscoveryConfig (provenance / debugging)
     attempts.json   recorded failures; len() = next attempt ordinal
+    manifest.json   sha256 + size sidecar per artifact, last-access
     trace.npz       the recorded event trace (chunk boundaries kept)
     sigs.json       the VM's interned loop-signature table
     profile.json    ProfileArtifact.to_dict()
@@ -20,10 +22,16 @@ Layout per job::
     rank.json       RankArtifact.to_dict()
     result.json     the finished batch row (presence = job complete)
 
-Every write is atomic (tmp + ``os.replace``), so a crash mid-save never
-leaves a truncated artifact: resume sees either the previous state or
-the new one.  :meth:`JobCheckpoint.restore` installs the longest
-available phase *prefix* into an engine via
+Storage rides :class:`repro.store.ArtifactStore`: every write happens
+under the key's advisory writer lock with tmp-then-``os.replace``
+publication and a sha256 manifest sidecar, so concurrent batch runners
+sharing a ``resume_dir`` serialize per key instead of racing, and a
+crash mid-save never leaves a truncated artifact under its final name.
+:meth:`JobCheckpoint.restore` and :meth:`load_result` are
+integrity-verified: a corrupt or truncated entry is quarantined to
+``<key>/.corrupt-N/`` (counted on ``resilience.store.corrupt``) and
+treated as missing — recomputed, never served.  ``restore`` installs
+the longest *verified* phase prefix into an engine via
 :meth:`~repro.engine.core.DiscoveryEngine.adopt`; the engine's phase
 caches then skip straight to the first missing phase.
 """
@@ -42,6 +50,7 @@ from repro.engine.artifacts import (
     RankArtifact,
 )
 from repro.engine.config import DiscoveryConfig
+from repro.store import ArtifactStore
 
 #: phase name -> (artifact file, artifact class), in pipeline order
 PHASE_FILES = (
@@ -52,8 +61,8 @@ PHASE_FILES = (
 )
 
 #: config fields that never affect what a run computes, only how it is
-#: labelled or supervised — excluded from the checkpoint key
-KEY_EXCLUDED_FIELDS = ("name", "fault_plan", "resilience")
+#: labelled, supervised or observed — excluded from the checkpoint key
+KEY_EXCLUDED_FIELDS = ("name", "fault_plan", "resilience", "obs")
 
 
 def _sha(text: str) -> str:
@@ -70,22 +79,19 @@ def job_key(config: DiscoveryConfig) -> str:
     return f"{_sha(source)[:12]}-{_sha(canonical)[:12]}"
 
 
-def _write_atomic(path: str, payload: str) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(payload)
-    os.replace(tmp, path)
-
-
-def _write_json(path: str, data) -> None:
-    _write_atomic(path, json.dumps(data))
-
-
 def _read_json(path: str):
+    """Read a JSON artifact; torn or invalid content is *missing*.
+
+    A half-written file must never poison a resume, so decode errors
+    degrade to ``None`` exactly like absence — the caller recomputes.
+    """
     if not os.path.exists(path):
         return None
-    with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
 
 
 class _SignatureDecoder:
@@ -104,29 +110,68 @@ class _SignatureDecoder:
 
 
 class JobCheckpoint:
-    """Phase-artifact persistence for one content-addressed job."""
+    """Phase-artifact persistence for one content-addressed job.
 
-    def __init__(self, root: str, config: DiscoveryConfig) -> None:
+    ``store_options`` (``lock_backend``, ``stale_after``,
+    ``poll_interval``) forward to the underlying
+    :class:`~repro.store.ArtifactStore`; an existing ``store`` may be
+    shared instead so several checkpoints reuse one lock table.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        config: DiscoveryConfig,
+        *,
+        store: Optional[ArtifactStore] = None,
+        store_options: Optional[dict] = None,
+    ) -> None:
         self.key = job_key(config)
         self.config = config
-        self.dir = os.path.join(root, self.key)
+        if store is None:
+            store = ArtifactStore(
+                root, faults=config.fault_plan, **(store_options or {})
+            )
+        self.store = store
+        self.dir = store.key_dir(self.key)
         os.makedirs(self.dir, exist_ok=True)
-        if not os.path.exists(self._path("config.json")):
-            _write_json(self._path("config.json"), config.to_dict())
 
     def _path(self, name: str) -> str:
         return os.path.join(self.dir, name)
+
+    # -- locking / metrics ---------------------------------------------
+
+    def lock(self):
+        """This key's (reentrant) writer lock — hold it to dedupe work."""
+        return self.store.lock(self.key)
+
+    def attach_metrics(self, registry) -> None:
+        """Route ``store.*`` counters into an obs metrics registry."""
+        self.store.attach_metrics(registry)
+
+    def _ensure_config(self) -> None:
+        """Record config provenance once (called from locked write paths)."""
+        if not os.path.exists(self._path("config.json")):
+            self.store.put_text(
+                self.key, "config.json", json.dumps(self.config.to_dict())
+            )
 
     # -- attempt bookkeeping -------------------------------------------
 
     def attempts(self) -> int:
         """How many recorded failures precede this attempt."""
-        return len(_read_json(self._path("attempts.json")) or [])
+        failures = _read_json(self._path("attempts.json"))
+        return len(failures) if isinstance(failures, list) else 0
 
     def record_failure(self, error: str) -> None:
-        failures = _read_json(self._path("attempts.json")) or []
-        failures.append({"error": error})
-        _write_json(self._path("attempts.json"), failures)
+        """Append a failure record (locked read-modify-write)."""
+        with self.lock():
+            self._ensure_config()
+            failures = _read_json(self._path("attempts.json"))
+            if not isinstance(failures, list):
+                failures = []
+            failures.append({"error": error})
+            self.store.put_text(self.key, "attempts.json", json.dumps(failures))
 
     # -- saving --------------------------------------------------------
 
@@ -144,34 +189,51 @@ class JobCheckpoint:
             "detect": engine._detect,
             "rank": engine._rank,
         }
-        for phase, filename, _cls in PHASE_FILES:
-            artifact = cached[phase]
-            if artifact is None or os.path.exists(self._path(filename)):
-                continue
-            if phase == "profile":
-                self._save_trace_parts(artifact)
-            _write_json(self._path(filename), artifact.to_dict())
-            saved.append(phase)
+        with self.lock():
+            self._ensure_config()
+            for phase, filename, _cls in PHASE_FILES:
+                artifact = cached[phase]
+                if artifact is None or os.path.exists(self._path(filename)):
+                    continue
+                if phase == "profile":
+                    self._save_trace_parts(artifact)
+                self.store.put_text(
+                    self.key, filename, json.dumps(artifact.to_dict())
+                )
+                saved.append(phase)
         return saved
 
     def _save_trace_parts(self, profile: ProfileArtifact) -> None:
         from repro.runtime.events import save_trace
 
-        trace_path = self._path("trace.npz")
-        tmp = trace_path + ".tmp"
-        save_trace(profile.trace, tmp)
-        os.replace(tmp, trace_path)
+        self.store.put_file(
+            self.key, "trace.npz", lambda tmp: save_trace(profile.trace, tmp)
+        )
         sig_list = list(getattr(profile.vm, "_sig_list", [()]))
-        _write_json(self._path("sigs.json"), [list(s) for s in sig_list])
+        self.store.put_text(
+            self.key, "sigs.json", json.dumps([list(s) for s in sig_list])
+        )
 
     def save_result(self, row: dict) -> None:
         """Mark the job complete; presence of result.json = done."""
-        _write_json(self._path("result.json"), row)
+        with self.lock():
+            self._ensure_config()
+            self.store.put_text(self.key, "result.json", json.dumps(row))
 
     # -- loading -------------------------------------------------------
 
-    def load_result(self) -> Optional[dict]:
-        return _read_json(self._path("result.json"))
+    def load_result(self, *, heal: bool = False) -> Optional[dict]:
+        """The saved completed row, checksum-verified.
+
+        Optimistic (unlocked) callers get ``None`` on any mismatch;
+        with ``heal`` (caller holds the key lock) a confirmed-corrupt
+        row is quarantined so the job transparently recomputes.
+        """
+        row = self.store.read_json(self.key, "result.json", heal=heal)
+        if isinstance(row, dict):
+            self.store.touch(self.key)
+            return row
+        return None
 
     def completed_phases(self) -> list:
         return [
@@ -181,25 +243,30 @@ class JobCheckpoint:
         ]
 
     def restore(self, engine) -> list:
-        """Adopt the longest persisted phase prefix; returns its names.
+        """Adopt the longest *verified* persisted phase prefix.
 
-        The profile artifact is rehydrated with its trace, a rebuilt
-        PET, and a :class:`_SignatureDecoder` shim in the ``vm`` slot;
-        later phases re-enter exactly where the artifacts stop.
+        Every artifact read is checked against its manifest sha256; a
+        corrupt or truncated entry is quarantined (``.corrupt-N/``) and
+        ends the prefix there, so the engine recomputes from the last
+        trustworthy phase.  The profile artifact is rehydrated with its
+        trace, a rebuilt PET, and a :class:`_SignatureDecoder` shim in
+        the ``vm`` slot; later phases re-enter exactly where the
+        artifacts stop.  Returns the restored phase names.
         """
         artifacts = {}
         restored = []
-        for phase, filename, cls in PHASE_FILES:
-            data = _read_json(self._path(filename))
-            if data is None:
-                break  # adopt() wants a prefix; stop at the first gap
-            artifact = cls.from_dict(data)
-            if phase == "profile":
-                artifact = self._rehydrate_profile(artifact, engine)
-                if artifact is None:
-                    break
-            artifacts[phase] = artifact
-            restored.append(phase)
+        with self.lock():
+            for phase, filename, cls in PHASE_FILES:
+                data = self.store.read_json(self.key, filename, heal=True)
+                if data is None:
+                    break  # adopt() wants a prefix; stop at the first gap
+                artifact = cls.from_dict(data)
+                if phase == "profile":
+                    artifact = self._rehydrate_profile(artifact, engine)
+                    if artifact is None:
+                        break
+                artifacts[phase] = artifact
+                restored.append(phase)
         if artifacts:
             engine.adopt(**artifacts)
         return restored
@@ -210,9 +277,9 @@ class JobCheckpoint:
         from repro.profiler.pet import PETBuilder
         from repro.runtime.events import load_trace
 
-        trace_path = self._path("trace.npz")
-        sigs = _read_json(self._path("sigs.json"))
-        if not os.path.exists(trace_path) or sigs is None:
+        trace_path = self.store.artifact_path(self.key, "trace.npz", heal=True)
+        sigs = self.store.read_json(self.key, "sigs.json", heal=True)
+        if trace_path is None or sigs is None:
             return None  # phase row without its trace: treat as missing
         trace = load_trace(trace_path)
         pet = PETBuilder()

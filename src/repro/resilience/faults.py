@@ -15,6 +15,17 @@ Events are keyed by *where* they fire:
     (``profile`` | ``cus`` | ``detect`` | ``rank``) when the engine's
     ``fault_attempt`` equals ``gen`` — so a checkpointed batch job
     crashes on its first attempt and completes on resume.
+``kill_in_store_write`` / ``torn_store_write``
+    fire inside the artifact store as it publishes the artifact named
+    by ``artifact`` (e.g. ``result.json``), when the store's
+    ``fault_attempt`` (= the job's recorded failure count) equals
+    ``gen``: the former dies mid-flush leaving a torn tmp, the latter
+    publishes a truncated payload against a full-payload checksum.
+``stale_lease`` / ``flip_checksum``
+    are *environment* faults — they describe damage planted in the
+    store tree from outside (a lease left by a dead pid, a flipped byte
+    in a published artifact) rather than a hook that fires in-process;
+    :func:`apply_store_environment` applies them to a key directory.
 
 Keying by generation is what makes every plan *eventually successful*
 without any cross-process shared state: a retried worker observes a
@@ -39,9 +50,19 @@ FAULT_KINDS = (
     "drop_slab_ack",
     "corrupt_done_payload",
     "raise_in_phase",
+    "kill_in_store_write",
+    "torn_store_write",
+    "stale_lease",
+    "flip_checksum",
 )
 
 _WORKER_KINDS = ("kill_worker", "hang_worker", "drop_slab_ack", "corrupt_done_payload")
+
+#: Store-phase kinds that fire inside ArtifactStore._publish.
+_STORE_WRITE_KINDS = ("kill_in_store_write", "torn_store_write")
+
+#: Environment kinds applied to the tree from outside the writer process.
+_STORE_ENV_KINDS = ("stale_lease", "flip_checksum")
 
 #: Exit code used by killed workers, distinguishable from real crashes.
 KILL_EXIT_CODE = 73
@@ -62,12 +83,17 @@ class FaultEvent:
     phase: Optional[str] = None  # engine phase for raise_in_phase
     gen: int = 0                 # worker generation / engine attempt
     repeat: bool = False         # re-fire at every batch >= `batch`
+    artifact: Optional[str] = None  # store artifact name for store kinds
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
         if self.kind == "raise_in_phase" and not self.phase:
             raise ValueError("raise_in_phase events need a phase")
+        if self.kind in _STORE_WRITE_KINDS and not self.artifact:
+            raise ValueError(f"{self.kind} events need an artifact name")
+        if self.kind == "flip_checksum" and not self.artifact:
+            raise ValueError("flip_checksum events need an artifact name")
 
     def to_dict(self) -> dict:
         data = {"kind": self.kind, "gen": self.gen}
@@ -79,6 +105,8 @@ class FaultEvent:
             data["phase"] = self.phase
         if self.repeat:
             data["repeat"] = True
+        if self.artifact is not None:
+            data["artifact"] = self.artifact
         return data
 
     @classmethod
@@ -90,6 +118,7 @@ class FaultEvent:
             phase=data.get("phase"),
             gen=int(data.get("gen", 0)),
             repeat=bool(data.get("repeat", False)),
+            artifact=data.get("artifact"),
         )
 
 
@@ -154,6 +183,25 @@ class FaultPlan:
                 self._fired.add(i)
                 raise FaultInjected(f"injected fault in phase {phase!r} (attempt {attempt})")
 
+    # -- artifact-store hook -----------------------------------------------
+    def check_store_write(self, artifact: str, attempt: int = 0) -> Optional[str]:
+        """The store-write fault kind due for this artifact publish, if any.
+
+        Fires each matching event at most once per process (same
+        ``_fired`` discipline as :meth:`check_phase`); keyed on the
+        job's failure count so a rerun after a kill sails through.
+        """
+        for i, event in enumerate(self.events):
+            if (
+                event.kind in _STORE_WRITE_KINDS
+                and event.artifact == artifact
+                and event.gen == attempt
+                and ("store", i) not in self._fired
+            ):
+                self._fired.add(("store", i))
+                return event.kind
+        return None
+
     # -- worker-side view --------------------------------------------------
     def for_worker(self, shard: int, gen: int) -> List[dict]:
         """Picklable event dicts relevant to one worker attempt."""
@@ -208,3 +256,70 @@ class WorkerFaultInjector:
                 self._fired.add(i)
                 return {"corrupt": True}
         return payload
+
+
+# -- store environment faults (applied from the test harness side) ---------
+
+def _dead_pid() -> int:
+    """A pid that provably does not exist right now: a reaped child's."""
+    import subprocess
+    import sys
+
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def plant_stale_lease(key_dir: str, *, age: float = 3600.0) -> str:
+    """Leave a lease file behind as a crashed (dead-pid) holder would.
+
+    The lease carries a freshly-reaped child's pid and a heartbeat mtime
+    ``age`` seconds in the past, so takeover triggers on both staleness
+    signals deterministically.
+    """
+    import json
+
+    from repro.store.locks import LEASE_FILE
+
+    os.makedirs(key_dir, exist_ok=True)
+    path = os.path.join(key_dir, LEASE_FILE)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"pid": _dead_pid(), "host": os.uname().nodename,
+             "created": time.time() - age},
+            handle,
+        )
+    stamp = time.time() - age
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def flip_artifact_byte(path: str, *, offset: int = 0) -> None:
+    """Flip one byte of a published artifact (silent on-disk corruption)."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        if not byte:
+            return
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def apply_store_environment(plan: "FaultPlan", key_dir: str) -> List[str]:
+    """Apply a plan's environment fault kinds to one key directory.
+
+    Returns the kinds applied.  ``stale_lease`` plants a dead-pid lease;
+    ``flip_checksum`` flips a byte in the event's ``artifact`` (skipped
+    when that artifact does not exist yet).
+    """
+    applied = []
+    for event in plan.events:
+        if event.kind == "stale_lease":
+            plant_stale_lease(key_dir)
+            applied.append(event.kind)
+        elif event.kind == "flip_checksum":
+            path = os.path.join(key_dir, event.artifact or "")
+            if os.path.isfile(path):
+                flip_artifact_byte(path)
+                applied.append(event.kind)
+    return applied

@@ -1,0 +1,331 @@
+"""Advisory per-key writer locks for the artifact store.
+
+Two backends behind one :class:`KeyLock` interface:
+
+* **flock** — a ``fcntl.flock(LOCK_EX)`` on ``<dir>/.lock``.  The kernel
+  releases it when the holder dies (kill -9 included), two file
+  descriptors in one process exclude each other, and it is free of the
+  classic ``lockf`` pitfall where closing *any* fd on the file drops the
+  lock.  An inode recheck after acquisition guards the race where GC
+  unlinks the lock file between our ``open`` and our ``flock``.
+* **lease** — an ``O_CREAT | O_EXCL`` lease file carrying a JSON body
+  (pid, host, created) whose **mtime is the heartbeat**: a daemon thread
+  refreshes it while the lock is held.  A lease is *stale* when its pid
+  is provably dead on this host, or when the heartbeat is older than
+  ``stale_after`` seconds.  Takeover is deterministic: every contender
+  may judge a lease stale, but only the one whose atomic
+  ``os.rename(lease, lease.stale-<pid>)`` succeeds gets to retry the
+  ``O_EXCL`` create — everyone else sees ``FileNotFoundError`` and goes
+  back to waiting.  This backend works on filesystems where ``flock`` is
+  a no-op or unavailable (some network mounts), at the cost of a
+  liveness timeout instead of kernel-instant crash release.
+
+``backend="auto"`` probes ``fcntl`` once per process and falls back to
+leases.  Locks are reentrant per :class:`KeyLock` instance (a depth
+counter), because checkpoint code paths nest ``locked()`` sections.
+
+Waits and steals are reported through optional callbacks so the owning
+:class:`~repro.store.core.ArtifactStore` can surface them as
+``store.lock_waits`` / ``store.lock_steals`` metrics.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import threading
+import time
+from typing import Callable, Optional
+
+try:  # pragma: no cover - exercised implicitly on POSIX
+    import fcntl
+
+    _HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+    _HAVE_FCNTL = False
+
+LOCK_FILE = ".lock"
+LEASE_FILE = ".lease"
+
+#: Default age (seconds) past which a lease heartbeat is considered dead.
+DEFAULT_STALE_AFTER = 30.0
+
+#: Default sleep between acquisition attempts, seconds.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+class StoreLockTimeout(TimeoutError):
+    """Raised when a lock cannot be acquired within ``timeout`` seconds."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` exists on this host (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
+def _read_lease(path: str) -> dict:
+    """Best-effort parse of a lease body; tolerate torn/garbage JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+class KeyLock:
+    """Advisory exclusive lock on one store directory.
+
+    Parameters
+    ----------
+    directory:
+        The directory the lock protects (created on first acquire).
+    backend:
+        ``"auto"`` (flock when available), ``"flock"``, or ``"lease"``.
+    stale_after:
+        Lease heartbeat age, in seconds, past which a holder with an
+        unverifiable pid is considered dead (lease backend only).
+    poll_interval:
+        Sleep between acquisition attempts while contending.
+    on_wait / on_steal:
+        Optional callbacks fired once per contended acquisition and once
+        per successful stale-lease takeover, for metrics plumbing.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        backend: str = "auto",
+        stale_after: float = DEFAULT_STALE_AFTER,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        on_wait: Optional[Callable[[], None]] = None,
+        on_steal: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if backend not in ("auto", "flock", "lease"):
+            raise ValueError(f"unknown lock backend: {backend!r}")
+        if backend == "flock" and not _HAVE_FCNTL:
+            raise ValueError("flock backend requested but fcntl is unavailable")
+        if backend == "auto":
+            backend = "flock" if _HAVE_FCNTL else "lease"
+        self.directory = directory
+        self.backend = backend
+        self.stale_after = float(stale_after)
+        self.poll_interval = float(poll_interval)
+        self.on_wait = on_wait
+        self.on_steal = on_steal
+        self._depth = 0
+        self._fd: Optional[int] = None
+        self._heartbeat: Optional[threading.Thread] = None
+        self._heartbeat_stop: Optional[threading.Event] = None
+        # Serializes acquire/release across threads sharing this instance.
+        self._mutex = threading.RLock()
+
+    # -- public interface -------------------------------------------------
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    @property
+    def path(self) -> str:
+        name = LOCK_FILE if self.backend == "flock" else LEASE_FILE
+        return os.path.join(self.directory, name)
+
+    def acquire(self, timeout: Optional[float] = None) -> "KeyLock":
+        """Acquire (reentrantly); raise :class:`StoreLockTimeout` on timeout.
+
+        ``timeout=None`` blocks forever, ``timeout=0`` is a single
+        non-blocking attempt.
+        """
+        with self._mutex:
+            if self._depth > 0:
+                self._depth += 1
+                return self
+            os.makedirs(self.directory, exist_ok=True)
+            if self.backend == "flock":
+                self._acquire_flock(timeout)
+            else:
+                self._acquire_lease(timeout)
+            self._depth = 1
+            return self
+
+    def release(self) -> None:
+        with self._mutex:
+            if self._depth == 0:
+                return
+            self._depth -= 1
+            if self._depth > 0:
+                return
+            if self.backend == "flock":
+                self._release_flock()
+            else:
+                self._release_lease()
+
+    def __enter__(self) -> "KeyLock":
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # -- flock backend -----------------------------------------------------
+
+    def _acquire_flock(self, timeout: Optional[float]) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        waited = False
+        while True:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                os.close(fd)
+                if exc.errno not in (errno.EACCES, errno.EAGAIN):
+                    raise
+                if not waited:
+                    waited = True
+                    if self.on_wait is not None:
+                        self.on_wait()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise StoreLockTimeout(
+                        f"could not lock {self.path} within {timeout}s"
+                    ) from None
+                time.sleep(self.poll_interval)
+                continue
+            # Guard the unlink race: if GC removed the lock file between
+            # our open and our flock, we hold a lock on a dead inode and
+            # another process may hold one on the recreated file.
+            try:
+                if os.fstat(fd).st_ino != os.stat(self.path).st_ino:
+                    raise FileNotFoundError
+            except FileNotFoundError:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+                continue
+            self._fd = fd
+            try:  # advisory breadcrumb for humans poking at the tree
+                os.truncate(fd, 0)
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            except OSError:
+                pass
+            return
+
+    def _release_flock(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    # -- lease backend -----------------------------------------------------
+
+    def _acquire_lease(self, timeout: Optional[float]) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        waited = False
+        body = json.dumps(
+            {"pid": os.getpid(), "host": os.uname().nodename, "created": time.time()}
+        )
+        while True:
+            try:
+                fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                if self._try_steal_lease():
+                    continue
+                if not waited:
+                    waited = True
+                    if self.on_wait is not None:
+                        self.on_wait()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise StoreLockTimeout(
+                        f"could not lease {self.path} within {timeout}s"
+                    ) from None
+                time.sleep(self.poll_interval)
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(body)
+            self._start_heartbeat()
+            return
+
+    def _try_steal_lease(self) -> bool:
+        """Take over a stale lease; True when we removed it and may retry.
+
+        Atomic ``os.rename`` is the arbiter: among any number of
+        contenders that judged the same lease stale, exactly one rename
+        succeeds, so exactly one steal is counted and the loser simply
+        keeps polling.
+        """
+        path = self.path
+        try:
+            mtime = os.stat(path).st_mtime
+        except FileNotFoundError:
+            return True  # holder released between our open and stat
+        lease = _read_lease(path)
+        pid = lease.get("pid")
+        same_host = lease.get("host") == os.uname().nodename
+        stale = False
+        if same_host and isinstance(pid, int) and not _pid_alive(pid):
+            stale = True  # provably dead holder: immediate takeover
+        elif time.time() - mtime > self.stale_after:
+            stale = True  # heartbeat dead past the liveness budget
+        if not stale:
+            return False
+        tombstone = f"{path}.stale-{os.getpid()}"
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return False  # someone else won the steal (or holder released)
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        if self.on_steal is not None:
+            self.on_steal()
+        return True
+
+    def _start_heartbeat(self) -> None:
+        stop = threading.Event()
+        interval = max(self.stale_after / 4.0, 0.05)
+        path = self.path
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    os.utime(path)
+                except OSError:
+                    return  # lease gone (stolen or released); nothing to refresh
+
+        thread = threading.Thread(
+            target=beat, name=f"repro-lease-hb:{os.path.basename(self.directory)}",
+            daemon=True,
+        )
+        thread.start()
+        self._heartbeat = thread
+        self._heartbeat_stop = stop
+
+    def _release_lease(self) -> None:
+        stop, self._heartbeat_stop = self._heartbeat_stop, None
+        thread, self._heartbeat = self._heartbeat, None
+        if stop is not None:
+            stop.set()
+        if thread is not None:
+            thread.join(timeout=1.0)
+        # Only remove the lease if it is still ours — it may have been
+        # stolen while we were (wrongly) presumed dead.
+        if _read_lease(self.path).get("pid") == os.getpid():
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass

@@ -1,0 +1,98 @@
+"""Per-key manifest: sha256 + size sidecars and last-access tracking.
+
+Each store key directory carries a ``manifest.json``::
+
+    {
+      "version": 1,
+      "last_access": 1699999999.5,
+      "entries": {
+        "result.json": {"sha256": "ab…", "size": 512},
+        "trace.npz":   {"sha256": "cd…", "size": 81920}
+      }
+    }
+
+The manifest is only ever written under the key's writer lock, with the
+same tmp-then-``os.replace`` discipline as the artifacts it describes;
+readers tolerate a torn manifest by treating it as empty (artifacts then
+degrade to the legacy unverified-but-present contract rather than
+raising).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Optional
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+_CHUNK = 1 << 20
+
+
+def file_sha256(path: str) -> str:
+    """Streaming sha256 of a file's contents."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def text_sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def empty_manifest() -> dict:
+    return {"version": MANIFEST_VERSION, "last_access": 0.0, "entries": {}}
+
+
+def load_manifest(key_dir: str) -> dict:
+    """Load a key's manifest; torn/missing/garbage reads come back empty."""
+    path = os.path.join(key_dir, MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return empty_manifest()
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), dict):
+        return empty_manifest()
+    data.setdefault("version", MANIFEST_VERSION)
+    data.setdefault("last_access", 0.0)
+    return data
+
+
+def save_manifest(key_dir: str, manifest: dict) -> None:
+    """Atomically persist a key's manifest (caller holds the key lock)."""
+    path = os.path.join(key_dir, MANIFEST_NAME)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def record_entry(key_dir: str, name: str, sha256: str, size: int) -> dict:
+    """Upsert one artifact's sidecar and bump last-access (lock held)."""
+    manifest = load_manifest(key_dir)
+    manifest["entries"][name] = {"sha256": sha256, "size": int(size)}
+    manifest["last_access"] = time.time()
+    save_manifest(key_dir, manifest)
+    return manifest
+
+
+def drop_entry(key_dir: str, name: str) -> dict:
+    """Remove one artifact's sidecar, if present (lock held)."""
+    manifest = load_manifest(key_dir)
+    if name in manifest["entries"]:
+        del manifest["entries"][name]
+        save_manifest(key_dir, manifest)
+    return manifest
+
+
+def entry_for(key_dir: str, name: str) -> Optional[dict]:
+    return load_manifest(key_dir)["entries"].get(name)

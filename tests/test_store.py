@@ -1,0 +1,476 @@
+"""Crash-safe concurrent artifact store: locks, integrity, GC, dedupe.
+
+The store contract (docs/RESILIENCE.md): all writes happen under a
+per-key advisory writer lock with tmp-then-rename publication and a
+sha256 manifest sidecar; concurrent batch runners sharing a
+``resume_dir`` dedupe work instead of racing; a corrupt or truncated
+artifact is quarantined to ``.corrupt-N/`` and transparently
+recomputed, never served; GC evicts LRU keys but never a locked one.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.engine import (
+    DiscoveryConfig,
+    JobCheckpoint,
+    job_for_source,
+    job_for_workload,
+    job_key,
+    run_batch,
+    run_job,
+)
+from repro.resilience.faults import (
+    KILL_EXIT_CODE,
+    flip_artifact_byte,
+    plant_stale_lease,
+)
+from repro.store import (
+    ArtifactStore,
+    KeyLock,
+    StoreLockTimeout,
+    file_sha256,
+    load_manifest,
+    text_sha256,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="store locking tests assume POSIX"
+)
+
+
+# ---------------------------------------------------------------------------
+# multiprocess helpers (module level for picklability under spawn)
+# ---------------------------------------------------------------------------
+
+
+def _locked_increment(directory, backend, counter_path, n):
+    lock = KeyLock(directory, backend=backend, poll_interval=0.001)
+    for _ in range(n):
+        with lock:
+            with open(counter_path, "r", encoding="utf-8") as handle:
+                value = int(handle.read().strip() or 0)
+            # widen the race window: read, yield, then write back
+            time.sleep(0.0005)
+            with open(counter_path, "w", encoding="utf-8") as handle:
+                handle.write(f"{value + 1}\n")
+
+
+def _run_job_in_child(job, resume_dir, queue):
+    queue.put(run_job(job, resume_dir=resume_dir))
+
+
+def _run_batch_in_child(jobs, resume_dir, queue, **kwargs):
+    queue.put(run_batch(jobs, jobs_parallel=1, resume_dir=resume_dir,
+                        **kwargs))
+
+
+def _spawn(target, *args, **kwargs):
+    proc = multiprocessing.Process(target=target, args=args, kwargs=kwargs)
+    proc.start()
+    return proc
+
+
+# ---------------------------------------------------------------------------
+# key locks: both backends
+# ---------------------------------------------------------------------------
+
+
+class TestKeyLock:
+    @pytest.mark.parametrize("backend", ["flock", "lease"])
+    def test_mutual_exclusion_across_processes(self, backend, tmp_path):
+        counter = tmp_path / "counter"
+        counter.write_text("0\n")
+        procs = [
+            _spawn(_locked_increment, str(tmp_path / "key"), backend,
+                   str(counter), 25)
+            for _ in range(4)
+        ]
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # lost updates would leave the counter short of 4 x 25
+        assert counter.read_text().strip() == "100"
+
+    def test_reentrant_and_held(self, tmp_path):
+        lock = KeyLock(str(tmp_path))
+        assert not lock.held
+        with lock:
+            with lock:
+                assert lock.held
+            assert lock.held
+        assert not lock.held
+
+    def test_flock_excludes_between_instances(self, tmp_path):
+        holder = KeyLock(str(tmp_path), backend="flock")
+        holder.acquire()
+        try:
+            contender = KeyLock(str(tmp_path), backend="flock",
+                                poll_interval=0.01)
+            with pytest.raises(StoreLockTimeout):
+                contender.acquire(timeout=0)
+        finally:
+            holder.release()
+        # released: a fresh non-blocking attempt now succeeds
+        contender.acquire(timeout=0)
+        contender.release()
+
+    def test_stale_lease_is_taken_over_once(self, tmp_path):
+        plant_stale_lease(str(tmp_path))
+        steals = []
+        lock = KeyLock(str(tmp_path), backend="lease",
+                       poll_interval=0.01,
+                       on_steal=lambda: steals.append(1))
+        lock.acquire(timeout=10)
+        try:
+            assert len(steals) == 1
+            body = json.loads((tmp_path / ".lease").read_text())
+            assert body["pid"] == os.getpid()
+        finally:
+            lock.release()
+        assert not (tmp_path / ".lease").exists()
+
+    def test_live_lease_is_not_stolen(self, tmp_path):
+        # a live holder: our own pid, fresh heartbeat
+        (tmp_path / ".lease").write_text(json.dumps(
+            {"pid": os.getpid(), "host": os.uname().nodename,
+             "created": time.time()}
+        ))
+        lock = KeyLock(str(tmp_path), backend="lease",
+                       stale_after=30.0, poll_interval=0.02)
+        with pytest.raises(StoreLockTimeout):
+            lock.acquire(timeout=0.2)
+        assert (tmp_path / ".lease").exists()
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            KeyLock(str(tmp_path), backend="hope")
+
+
+# ---------------------------------------------------------------------------
+# the store: atomic writes, verified reads, quarantine
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_roundtrip_records_manifest_sidecar(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        text = json.dumps({"x": 1})
+        path = store.put_text("k", "a.json", text)
+        assert store.read_json("k", "a.json") == {"x": 1}
+        entry = load_manifest(store.key_dir("k"))["entries"]["a.json"]
+        assert entry["sha256"] == file_sha256(path) == text_sha256(text)
+        assert entry["size"] == os.path.getsize(path)
+
+    def test_optimistic_read_never_judges(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        path = store.put_text("k", "a.json", json.dumps({"x": 1}))
+        flip_artifact_byte(path)
+        # unlocked read: mismatch degrades to missing, nothing moves
+        assert store.read_json("k", "a.json") is None
+        assert os.path.exists(path)
+        assert not os.path.isdir(os.path.join(store.key_dir("k"),
+                                              ".corrupt-0"))
+
+    def test_healing_read_quarantines_corruption(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        for round_ in range(2):
+            path = store.put_text("k", "a.json", json.dumps({"x": 1}))
+            flip_artifact_byte(path)
+            assert store.read_json("k", "a.json", heal=True) is None
+            corrupt = os.path.join(store.key_dir("k"),
+                                   f".corrupt-{round_}", "a.json")
+            assert os.path.exists(corrupt)
+        assert store.counters["resilience.store.corrupt"] == 2
+        assert "a.json" not in load_manifest(store.key_dir("k"))["entries"]
+
+    def test_legacy_untracked_artifact_is_served(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        os.makedirs(store.key_dir("k"))
+        with open(os.path.join(store.key_dir("k"), "old.json"), "w") as f:
+            f.write(json.dumps({"legacy": True}))
+        assert store.read_json("k", "old.json") == {"legacy": True}
+        report = store.verify_key("k")
+        assert report["untracked"] == ["old.json"]
+        assert report["corrupt"] == []
+
+    def test_locked_write_sweeps_orphan_tmps(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_text("k", "a.json", "{}")
+        orphan = os.path.join(store.key_dir("k"), ".b.json.tmp-999")
+        with open(orphan, "w") as f:
+            f.write("half-writ")
+        assert store.verify_key("k")["torn_tmps"] == [".b.json.tmp-999"]
+        store.put_text("k", "c.json", "{}")
+        assert not os.path.exists(orphan)
+        assert store.counters["store.torn_tmp_cleaned"] == 1
+
+    def test_attach_metrics_flushes_buffered_counts(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        store = ArtifactStore(str(tmp_path))
+        path = store.put_text("k", "a.json", "{}")
+        flip_artifact_byte(path)
+        store.read_json("k", "a.json", heal=True)  # counted pre-attach
+        registry = MetricsRegistry()
+        store.attach_metrics(registry)
+        assert registry.get("resilience.store.corrupt").value == 1
+        store._count("store.dedup_hits")  # post-attach: forwarded live
+        assert registry.get("store.dedup_hits").value == 1
+
+    def test_verify_heal_cleans_the_tree(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        good = store.put_text("k", "good.json", json.dumps({"ok": 1}))
+        bad = store.put_text("k", "bad.json", json.dumps({"ok": 0}))
+        flip_artifact_byte(bad)
+        report = store.verify()
+        assert report["corrupt"] == 1 and report["healed"] == 0
+        report = store.verify(heal=True)
+        assert report["healed"] == 1
+        assert store.verify()["corrupt"] == 0
+        assert store.read_json("k", "good.json") == {"ok": 1}
+        assert os.path.exists(good)
+
+    def test_gc_evicts_lru_never_locked(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_text("old", "a.json", "x" * 100)
+        store.put_text("new", "a.json", "y" * 100)
+        # age "old": both the manifest field and its mtime
+        manifest_path = os.path.join(store.key_dir("old"), "manifest.json")
+        data = json.loads(open(manifest_path).read())
+        data["last_access"] = 1.0
+        with open(manifest_path, "w") as f:
+            f.write(json.dumps(data))
+        os.utime(manifest_path, (1.0, 1.0))
+        assert [r["key"] for r in store.stats()["rows"]] == ["old", "new"]
+
+        preview = store.gc(0, dry_run=True)
+        assert preview["evicted"] == ["old", "new"]
+        assert store.keys() == ["new", "old"]  # dry run touched nothing
+
+        total = store.stats()["total_bytes"]
+        result = store.gc(total - 1)  # one key over budget: evict LRU
+        assert result["evicted"] == ["old"]
+        assert store.keys() == ["new"]
+
+        lock = store.lock("new")
+        lock.acquire()
+        try:
+            result = store.gc(0)
+            assert result["evicted"] == []
+            assert result["skipped_locked"] == ["new"]
+        finally:
+            lock.release()
+        assert store.gc(0)["evicted"] == ["new"]
+        assert store.keys() == []
+
+
+# ---------------------------------------------------------------------------
+# checkpoint hardening on top of the store
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointHardening:
+    CONFIG = DiscoveryConfig(source="int main() { return 7; }")
+
+    def test_key_ignores_observability_and_supervision(self):
+        config = self.CONFIG
+        assert job_key(config) == job_key(config.replace(obs="metrics"))
+        assert job_key(config) == job_key(config.replace(name="x"))
+        assert job_key(config) != job_key(config.replace(n_threads=8))
+
+    def test_attempts_tolerates_garbage_ledger(self, tmp_path):
+        checkpoint = JobCheckpoint(str(tmp_path), self.CONFIG)
+        with open(os.path.join(checkpoint.dir, "attempts.json"), "w") as f:
+            f.write('{"not": "a list"')  # torn AND the wrong shape
+        assert checkpoint.attempts() == 0
+        checkpoint.record_failure("boom")
+        checkpoint.record_failure("boom again")
+        assert checkpoint.attempts() == 2
+
+    def test_corrupt_result_recomputed_not_served(self, tmp_path):
+        job = job_for_workload("fib")
+        first = run_job(job, resume_dir=str(tmp_path))
+        assert first["ok"]
+        store = ArtifactStore(str(tmp_path))
+        (first_key,) = store.keys()
+        flip_artifact_byte(os.path.join(store.key_dir(first_key),
+                                        "result.json"))
+        again = run_job(job, resume_dir=str(tmp_path))
+        assert again["ok"] and not again.get("deduped")
+        # every phase artifact was intact: nothing recomputed, only the
+        # corrupt row was quarantined and rewritten
+        assert again["phases_restored"] == ["profile", "cus",
+                                            "detect", "rank"]
+        assert again["phases_run"] == []
+        assert again["store_counters"]["resilience.store.corrupt"] == 1
+        assert os.path.exists(os.path.join(
+            store.key_dir(first_key), ".corrupt-0", "result.json"))
+        for field in ("return_value", "suggestions", "loops"):
+            assert again[field] == first[field], field
+
+    def test_corrupt_phase_ends_the_restored_prefix(self, tmp_path):
+        job = job_for_workload("fib")
+        first = run_job(job, resume_dir=str(tmp_path))
+        store = ArtifactStore(str(tmp_path))
+        (key,) = store.keys()
+        flip_artifact_byte(os.path.join(store.key_dir(key), "detect.json"))
+        os.unlink(os.path.join(store.key_dir(key), "result.json"))
+        resumed = run_job(job, resume_dir=str(tmp_path))
+        assert resumed["ok"]
+        assert resumed["phases_restored"] == ["profile", "cus"]
+        assert resumed["phases_run"] == ["detect", "rank"]
+        for field in ("return_value", "suggestions", "loops"):
+            assert resumed[field] == first[field], field
+        assert store.verify()["corrupt"] == 0
+
+    def test_kill_in_store_write_leaves_resumable_tree(self, tmp_path):
+        plan = {"events": [
+            {"kind": "kill_in_store_write", "artifact": "detect.json"},
+        ]}
+        queue = multiprocessing.SimpleQueue()
+        proc = _spawn(_run_job_in_child,
+                      job_for_workload("fib", fault_plan=plan),
+                      str(tmp_path), queue)
+        proc.join(timeout=120)
+        assert proc.exitcode == KILL_EXIT_CODE
+        assert queue.empty()  # died mid-save, no row escaped
+        store = ArtifactStore(str(tmp_path))
+        (key,) = store.keys()
+        # the torn tmp never reached its final name
+        assert store.verify_key(key)["torn_tmps"]
+        assert store.verify_key(key)["corrupt"] == []
+        resumed = run_job(job_for_workload("fib"),
+                          resume_dir=str(tmp_path))
+        assert resumed["ok"]
+        assert resumed["phases_restored"] == ["profile", "cus"]
+        assert resumed["phases_run"] == ["detect", "rank"]
+        assert resumed["store_counters"]["store.torn_tmp_cleaned"] >= 1
+        assert store.verify()["torn_tmps"] == 0
+
+    def test_torn_store_write_heals_on_next_read(self, tmp_path):
+        plan = {"events": [
+            {"kind": "torn_store_write", "artifact": "result.json"},
+        ]}
+        first = run_job(job_for_workload("fib", fault_plan=plan),
+                        resume_dir=str(tmp_path))
+        assert first["ok"]  # the returned row predates the torn publish
+        store = ArtifactStore(str(tmp_path))
+        assert store.verify()["corrupt"] == 1
+        again = run_job(job_for_workload("fib"),
+                        resume_dir=str(tmp_path))
+        assert again["ok"]
+        assert again["store_counters"]["resilience.store.corrupt"] == 1
+        assert again["phases_run"] == []
+        assert store.verify()["corrupt"] == 0
+        for field in ("return_value", "suggestions"):
+            assert again[field] == first[field], field
+
+
+# ---------------------------------------------------------------------------
+# satellite: two concurrent batch runners sharing one resume_dir
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentBatch:
+    def test_shared_resume_dir_dedupes_work(self, tmp_path):
+        jobs_fwd = [job_for_workload("fib"), job_for_workload("sort")]
+        jobs_rev = list(reversed(jobs_fwd))
+        queue = multiprocessing.SimpleQueue()
+        procs = [
+            _spawn(_run_batch_in_child, jobs, str(tmp_path), queue)
+            for jobs in (jobs_fwd, jobs_rev)
+        ]
+        rows = []
+        for proc in procs:
+            rows.extend(queue.get())
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        assert len(rows) == 4 and all(r["ok"] for r in rows)
+        by_name = {}
+        for row in rows:
+            by_name.setdefault(row["name"], []).append(row)
+        for name, pair in by_name.items():
+            # exactly one runner computed; the other resumed or deduped
+            computed = [r for r in pair if not r.get("resumed")]
+            assert len(computed) == 1, name
+            for field in ("return_value", "suggestions", "loops"):
+                assert pair[0][field] == pair[1][field], (name, field)
+        report = ArtifactStore(str(tmp_path)).verify()
+        assert report["keys"] == 2
+        assert report["corrupt"] == 0 and report["torn_tmps"] == 0
+
+    def test_concurrent_quarantine_deltas_accumulate(self, tmp_path):
+        spin = job_for_source(
+            "def main():\n"
+            "    total = 0\n"
+            "    for i in range(100000000):\n"
+            "        total = total + i\n"
+            "    return total\n",
+            name="spin", frontend="python",
+        )
+        queue = multiprocessing.SimpleQueue()
+        procs = [
+            _spawn(_run_batch_in_child, [spin], str(tmp_path), queue,
+                   job_timeout=1.0, quarantine_after=5)
+            for _ in range(2)
+        ]
+        rows = []
+        for proc in procs:
+            rows.extend(queue.get())
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        assert all(not r["ok"] for r in rows)
+        # a lost read-modify-write would leave the count at 1
+        ledger = json.loads((tmp_path / "quarantine.json").read_text())
+        assert ledger["spin"] == 2
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro store stats|verify|gc
+# ---------------------------------------------------------------------------
+
+
+class TestStoreCLI:
+    def test_stats_verify_heal_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_job(job_for_workload("fib"), resume_dir=str(tmp_path))
+        assert main(["store", "stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 keys" in out
+
+        assert main(["store", "verify", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+        store = ArtifactStore(str(tmp_path))
+        (key,) = store.keys()
+        flip_artifact_byte(os.path.join(store.key_dir(key), "result.json"))
+        assert main(["store", "verify", str(tmp_path)]) == 1
+        assert main(["store", "verify", str(tmp_path), "--heal"]) == 0
+        assert main(["store", "verify", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "gc", str(tmp_path), "--max-bytes", "0",
+                     "--dry-run"]) == 0
+        assert store.keys() == [key]
+        assert main(["store", "gc", str(tmp_path), "--max-bytes", "0"]) == 0
+        assert store.keys() == []
+
+    def test_stats_json_shape(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ArtifactStore(str(tmp_path)).put_text("k", "a.json", "{}")
+        assert main(["store", "stats", str(tmp_path),
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["keys"] == 1
+        assert data["rows"][0]["key"] == "k"
